@@ -1,0 +1,49 @@
+"""Shared benchmark plumbing.
+
+Each benchmark regenerates one paper artefact (table/figure), printing
+the same rows/series the paper reports and archiving them under
+``benchmarks/reports/``. Scale with ``REPRO_SCALE`` (default 1.0 keeps
+the full suite in the minutes range; larger values approach paper scale).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+REPORT_DIR = pathlib.Path(__file__).parent / "reports"
+
+
+def scale() -> float:
+    try:
+        return float(os.environ.get("REPRO_SCALE", "1.0"))
+    except ValueError:
+        return 1.0
+
+
+@pytest.fixture()
+def emit(request):
+    """Print a report block and archive it per-benchmark."""
+
+    def _emit(text: str) -> None:
+        name = request.node.name
+        print()
+        print(text)
+        REPORT_DIR.mkdir(exist_ok=True)
+        path = REPORT_DIR / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+
+    return _emit
+
+
+@pytest.fixture()
+def once(benchmark):
+    """Run an expensive experiment exactly once under the benchmark timer."""
+
+    def _once(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return _once

@@ -1,0 +1,98 @@
+"""Sections I/II/VIII + Figures 1/3: the attack-vs-defense story.
+
+Layer 1 (bit flips): which hammering pattern defeats which mitigation.
+Layer 2 (PTE consumption): which tampering defeats which PTE protection.
+Plus the full Figure-3 exploit chain on baseline vs PT-Guard.
+"""
+
+from repro.analysis.attack_matrix import run_consumption_matrix, run_flip_matrix
+from repro.analysis.reporting import banner, format_table
+from repro.attacks.exploit import PrivilegeEscalationExploit
+from repro.common.config import PTGuardConfig
+from repro.harness.system import build_system
+
+
+def test_bench_attack_matrix(once, emit):
+    def run_all():
+        return run_flip_matrix(), run_consumption_matrix()
+
+    flips, consumption = once(run_all)
+
+    report = "\n".join(
+        [
+            banner("Layer 1: hammering pattern vs deployed mitigation"),
+            format_table(
+                ["defense", "attack", "PTE-row flipped", "any flips", "refreshes"],
+                [
+                    (e.defense, e.attack, e.victim_flipped, e.any_flips,
+                     e.mitigation_refreshes)
+                    for e in flips
+                ],
+            ),
+            "",
+            banner("Layer 2: PTE tampering vs page-table protection"),
+            format_table(
+                ["protection", "scenario", "prevented", "why"],
+                [(e.protection, e.scenario, e.prevented, e.note) for e in consumption],
+            ),
+        ]
+    )
+    emit(report)
+
+    cell = {(e.defense, e.attack): e for e in flips}
+    # The paper's narrative, cell by cell:
+    assert cell[("none", "double-sided")].victim_flipped
+    assert not cell[("none", "half-double")].victim_flipped  # needs a defense
+    assert not cell[("TRR", "double-sided")].victim_flipped
+    assert cell[("TRR", "many-sided")].any_flips  # TRRespass
+    assert cell[("TRR", "half-double")].victim_flipped  # Half-Double
+    assert cell[("CounterTRR", "half-double")].victim_flipped
+    assert cell[("CounterTRR-lowRTH", "double-sided")].victim_flipped  # low RTH
+    assert cell[("SoftTRR", "half-double")].victim_flipped
+    # Layer 2: PT-Guard prevents everything; each prior misses something.
+    ptguard = [c for c in consumption if c.protection == "PT-Guard"]
+    assert ptguard and all(c.prevented for c in ptguard)
+    for protection in ("SecWalk", "MonotonicPointers"):
+        cells = [c for c in consumption if c.protection == protection]
+        assert any(not c.prevented for c in cells)
+
+
+def test_bench_fig3_exploit_chain(once, emit):
+    def run_chain():
+        baseline = PrivilegeEscalationExploit(build_system(), num_pages=1024).attempt()
+        guarded = PrivilegeEscalationExploit(
+            build_system(ptguard=PTGuardConfig()), num_pages=1024
+        ).attempt()
+        corrected = PrivilegeEscalationExploit(
+            build_system(ptguard=PTGuardConfig(correction_enabled=True)),
+            num_pages=1024,
+        ).attempt()
+        return baseline, guarded, corrected
+
+    baseline, guarded, corrected = once(run_chain)
+    report = "\n".join(
+        [
+            banner("Figures 1/3: privilege-escalation exploit chain"),
+            format_table(
+                ["machine", "consumed", "self-ref", "escalated", "detected", "corrected"],
+                [
+                    ("baseline", baseline.tampered_pte_consumed,
+                     baseline.self_reference_achieved, baseline.escalated,
+                     baseline.detected, baseline.corrected),
+                    ("PT-Guard", guarded.tampered_pte_consumed,
+                     guarded.self_reference_achieved, guarded.escalated,
+                     guarded.detected, guarded.corrected),
+                    ("PT-Guard+corr", corrected.tampered_pte_consumed,
+                     corrected.self_reference_achieved, corrected.escalated,
+                     corrected.detected, corrected.corrected),
+                ],
+            ),
+            "",
+            "baseline leaks kernel memory; PT-Guard raises PTECheckFailed;"
+            " correction silently repairs the flip.",
+        ]
+    )
+    emit(report)
+    assert baseline.escalated
+    assert guarded.detected and not guarded.escalated
+    assert corrected.corrected and not corrected.escalated

@@ -1,0 +1,67 @@
+"""Throughput of the MAC primitives (true pytest-benchmark timing).
+
+Calibrates the simulator's own cost model and documents why large
+simulations default to BLAKE2 while security experiments may select the
+paper's QARMA-128 construction.
+"""
+
+import pytest
+
+from repro.crypto.mac import (
+    Blake2LineMAC,
+    PseudoLineMAC,
+    QarmaLineMAC,
+    SipHashLineMAC,
+)
+
+LINE = bytes(range(64))
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        pytest.param(lambda: QarmaLineMAC(bytes(range(32))), id="qarma128"),
+        pytest.param(lambda: SipHashLineMAC(bytes(range(16))), id="siphash24"),
+        pytest.param(lambda: Blake2LineMAC(bytes(range(32))), id="blake2b"),
+        pytest.param(lambda: PseudoLineMAC(bytes(range(16))), id="pseudo-crc"),
+    ],
+)
+def test_bench_line_mac_throughput(benchmark, factory):
+    mac = factory()
+    tag = benchmark(mac.compute, LINE, 0x1234560)
+    assert 0 <= tag < 2**96
+
+
+def test_bench_qarma_single_block(benchmark):
+    from repro.crypto.qarma import Qarma128
+
+    cipher = Qarma128(bytes(range(32)))
+    out = benchmark(cipher.encrypt, 0x0123456789ABCDEF, 0x42)
+    assert 0 <= out < 2**128
+
+
+def test_bench_guard_write_path(benchmark):
+    """Cost of one guarded DRAM write (pattern match + embed)."""
+    from repro.common.config import PTGuardConfig
+    from repro.core import pattern
+    from repro.core.guard import PTGuard
+    from repro.mmu.pte import make_x86_pte
+
+    guard = PTGuard(PTGuardConfig(), mac_algorithm="blake2")
+    line = pattern.join_ptes([make_x86_pte(0x2E5F3 + i) for i in range(8)])
+    outcome = benchmark(guard.process_write, 0x4000, line)
+    assert outcome.embedded
+
+
+def test_bench_guard_read_path(benchmark):
+    """Cost of one guarded PTE read (verify + strip)."""
+    from repro.common.config import PTGuardConfig
+    from repro.core import pattern
+    from repro.core.guard import PTGuard
+    from repro.mmu.pte import make_x86_pte
+
+    guard = PTGuard(PTGuardConfig(), mac_algorithm="blake2")
+    line = pattern.join_ptes([make_x86_pte(0x2E5F3 + i) for i in range(8)])
+    stored = guard.process_write(0x4000, line).stored_line
+    outcome = benchmark(guard.process_read, 0x4000, stored, True)
+    assert outcome.mac_matched

@@ -1,0 +1,69 @@
+"""Figure 6: PT-Guard normalized IPC and LLC MPKI across 25 workloads.
+
+Paper result: 1.3 % average slowdown; worst case 3.6 % (xalancbmk,
+MPKI 29); slowdown tracks LLC MPKI; Optimized PT-Guard 0.2 % average.
+Scale with REPRO_SCALE for longer (smoother) simulations.
+"""
+
+from conftest import scale
+
+from repro.analysis.perf_eval import run_figure6, summarize_figure6
+from repro.analysis.reporting import ascii_bars, banner, format_table
+
+
+def test_bench_fig6_slowdown(once, emit):
+    mem_ops = int(20_000 * scale())
+    warmup = int(12_000 * scale())
+
+    rows = once(run_figure6, mem_ops=mem_ops, warmup_ops=warmup)
+    summary = summarize_figure6(rows)
+
+    table = format_table(
+        ["workload", "suite", "MPKI", "MPKI(paper)", "IPC/IPCb",
+         "slowdown%", "optimized%"],
+        [
+            (
+                r.workload,
+                r.suite,
+                round(r.measured_mpki, 1),
+                r.target_mpki,
+                round(r.normalized_ipc, 4),
+                round(r.slowdown_percent, 2),
+                round(r.optimized_slowdown_percent or 0.0, 2),
+            )
+            for r in rows
+        ],
+    )
+    bars = ascii_bars(
+        [r.workload for r in rows],
+        [max(0.0, r.slowdown_percent) for r in rows],
+        unit="%",
+    )
+    report = "\n".join(
+        [
+            banner("Figure 6: normalized IPC + MPKI, 25 SPEC/GAP workloads"),
+            table,
+            "",
+            f"AMEAN slowdown {summary['amean_slowdown_percent']:.2f}% (paper 1.3%)",
+            f"worst slowdown {summary['worst_slowdown_percent']:.2f}% (paper 3.6%)",
+            f"GMEAN normalized IPC {summary['gmean_normalized_ipc']:.4f}",
+            f"Optimized AMEAN {summary.get('optimized_amean_slowdown_percent', 0):.2f}%"
+            f" (paper 0.2%), worst "
+            f"{summary.get('optimized_worst_slowdown_percent', 0):.2f}% (paper 0.4%)",
+            "",
+            banner("slowdown shape (Fig 6 top)"),
+            bars,
+        ]
+    )
+    emit(report)
+
+    # Shape assertions: who wins and by roughly what factor.
+    by_name = {r.workload: r for r in rows}
+    assert summary["amean_slowdown_percent"] < 4.0  # small average cost
+    assert summary["worst_slowdown_percent"] < 8.0
+    # Memory-intensive workloads hurt most; quiet ones barely at all.
+    heavy = [by_name[n].slowdown_percent for n in ("xalancbmk", "lbm", "pr")]
+    quiet = [by_name[n].slowdown_percent for n in ("povray", "exchange2", "leela")]
+    assert min(heavy) > max(0.0, max(quiet))
+    # Optimized flattens the cost everywhere.
+    assert summary["optimized_amean_slowdown_percent"] < summary["amean_slowdown_percent"]

@@ -1,0 +1,64 @@
+"""Figure 7: slowdown vs MAC-computation latency (5/10/15/20 cycles).
+
+Paper result: PT-Guard average scales 0.7% -> 2.6% across the sweep;
+Optimized PT-Guard stays below 0.3% at every latency because <2% of DRAM
+reads reach the MAC unit.
+"""
+
+from conftest import scale
+
+from repro.analysis.perf_eval import run_figure7
+from repro.analysis.reporting import banner, format_table
+
+# Representative mix: the heaviest + mid + quiet workloads.
+WORKLOADS = ["xalancbmk", "lbm", "pr", "mcf", "bwaves", "xz", "povray", "namd"]
+
+
+def test_bench_fig7_mac_latency(once, emit):
+    mem_ops = int(20_000 * scale())
+    warmup = int(12_000 * scale())
+    points = once(
+        run_figure7,
+        WORKLOADS,
+        latencies=(5, 10, 15, 20),
+        mem_ops=mem_ops,
+        warmup_ops=warmup,
+    )
+    report = "\n".join(
+        [
+            banner("Figure 7: slowdown vs MAC latency"),
+            format_table(
+                ["design", "MAC cycles", "avg slowdown%", "worst%", "worst workload"],
+                [
+                    (
+                        p.design,
+                        p.mac_latency,
+                        round(p.average_slowdown_percent, 2),
+                        round(p.worst_slowdown_percent, 2),
+                        p.worst_workload,
+                    )
+                    for p in points
+                ],
+            ),
+            "",
+            "paper: ptguard avg 0.7% (5cy) -> 2.6% (20cy); optimized < 0.3% flat",
+        ]
+    )
+    emit(report)
+
+    ptguard = {p.mac_latency: p for p in points if p.design == "ptguard"}
+    optimized = {p.mac_latency: p for p in points if p.design == "optimized"}
+    # Baseline design scales with latency.
+    assert ptguard[20].average_slowdown_percent > ptguard[5].average_slowdown_percent
+    # Optimized is flat and cheap at every latency.
+    for latency in (5, 10, 15, 20):
+        assert optimized[latency].average_slowdown_percent < 1.0
+        assert (
+            optimized[latency].average_slowdown_percent
+            < ptguard[latency].average_slowdown_percent + 0.05
+        )
+    # Crossover factor: at 20 cycles, optimized wins by a wide margin.
+    assert (
+        ptguard[20].average_slowdown_percent
+        > 3 * max(0.01, optimized[20].average_slowdown_percent)
+    )

@@ -1,0 +1,66 @@
+"""Figure 9: best-effort correction of faulty PTE cachelines.
+
+Paper result: 93 % of erroneous PTE lines corrected at p_flip = 1/512
+(DDR4 worst case), 70 % at p_flip = 1/128 (LPDDR4 worst case); 100 %
+detection; no mis-corrections, across 4 SPEC + 2 GAP workloads.
+"""
+
+from conftest import scale
+
+from repro.analysis.correction_eval import (
+    FIGURE9_WORKLOADS,
+    P_FLIP_POINTS,
+    run_figure9,
+)
+from repro.analysis.reporting import banner, format_table
+
+
+def test_bench_fig9_correction(once, emit):
+    max_lines = int(150 * scale())
+    result = once(run_figure9, max_lines=max_lines, trials_per_line=3)
+
+    rows = []
+    for workload in FIGURE9_WORKLOADS:
+        row = [workload]
+        for p_flip in P_FLIP_POINTS:
+            cell = result.cell(workload, p_flip)
+            row.append(f"{cell.corrected_fraction * 100:.1f}%")
+        rows.append(tuple(row))
+    rows.append(
+        tuple(
+            ["AVERAGE"]
+            + [f"{result.average_corrected(p) * 100:.1f}%" for p in P_FLIP_POINTS]
+        )
+    )
+
+    total_err = sum(c.lines_erroneous for c in result.cells)
+    total_mis = sum(c.miscorrections for c in result.cells)
+    strategies = {}
+    for cell in result.cells:
+        for step, count in cell.winning_steps.items():
+            strategies[step] = strategies.get(step, 0) + count
+
+    report = "\n".join(
+        [
+            banner("Figure 9: % faulty PTE cachelines corrected"),
+            format_table(["workload", "p=1/512", "p=1/256", "p=1/128"], rows),
+            "",
+            "paper: 93% average at 1/512, 70% at 1/128",
+            f"faulty lines: {total_err} | mis-corrections: {total_mis} (paper: 0)",
+            f"winning strategies: {strategies}",
+        ]
+    )
+    emit(report)
+
+    low = result.average_corrected(1 / 512)
+    high = result.average_corrected(1 / 128)
+    # Shape: high correction at low p_flip, degrading as p grows — the
+    # paper's 93% -> 70% slope. Our synthetic page tables carry somewhat
+    # less PFN contiguity than the authors' Ubuntu profile, so the
+    # absolute level sits a few points lower at the same slope.
+    assert low >= 0.80
+    assert 0.45 <= high <= low
+    assert low - high >= 0.05
+    # Hard guarantees: full detection, zero mis-correction.
+    assert total_mis == 0
+    assert all(c.detection_coverage == 1.0 for c in result.cells if c.lines_erroneous)

@@ -1,0 +1,77 @@
+"""Sections IV-G, V-E and VI-E: security model and SRAM budget."""
+
+from repro.common.config import PTGuardConfig, optimized_ptguard_config
+from repro.core import security
+from repro.core.guard import PTGuard
+from repro.analysis.reporting import banner, format_table
+
+
+def test_bench_sec6e_security(once, emit):
+    def sweep():
+        return [security.summarize(soft_match_k=k) for k in range(7)]
+
+    summaries = once(sweep)
+    report = "\n".join(
+        [
+            banner("Sec VI-E: soft-match security trade (Eq 1 + Eq 2)"),
+            format_table(
+                ["k", "n_eff bits", "loss bits", "p_uncorr @1%", "years to attack"],
+                [
+                    (
+                        s.soft_match_k,
+                        round(s.effective_bits, 1),
+                        round(s.security_loss, 1),
+                        f"{s.p_uncorrectable * 100:.3f}%",
+                        f"{s.years_to_attack:.2e}",
+                    )
+                    for s in summaries
+                ],
+            ),
+            "",
+            f"policy choice for p_flip=1%: k = "
+            f"{security.choose_soft_match_k(96, 0.01)} (paper: 4)",
+            f"n_eff(k=4, Gmax=372) = "
+            f"{security.effective_mac_bits(96, 4, 372):.1f} bits (paper: 66)",
+            f"exact 96-bit MAC: {security.years_to_attack(96):.2e} years "
+            "(paper: >1e14)",
+            f"benign MAC-collision interval: "
+            f"{security.natural_collision_interval_years(96):.2e} years "
+            "(paper: ~1e12, 'once every trillion years')",
+        ]
+    )
+    emit(report)
+
+    assert security.choose_soft_match_k(96, 0.01) == 4
+    assert 64.5 <= security.effective_mac_bits(96, 4, 372) <= 67
+    assert security.years_to_attack(96, 4, 372) > 1e4
+    assert security.years_to_attack(96) > 1e14
+    assert security.uncorrectable_probability(96, 4, 0.01) < 0.01
+
+
+def test_bench_sec5e_storage(once, emit):
+    def build():
+        return PTGuard(PTGuardConfig()), PTGuard(optimized_ptguard_config())
+
+    base, optimized = once(build)
+    report = "\n".join(
+        [
+            banner("Sec V-E: SRAM budget in the memory controller"),
+            format_table(
+                ["design", "component budget", "total bytes", "paper"],
+                [
+                    ("PT-Guard", "32B key + 20B CTB", base.sram_bytes, 52),
+                    (
+                        "Optimized",
+                        "+7B identifier +12B MAC-zero",
+                        optimized.sram_bytes,
+                        71,
+                    ),
+                ],
+            ),
+            "",
+            "DRAM storage overhead: 0 bytes (MAC embedded in unused PFN bits)",
+        ]
+    )
+    emit(report)
+    assert base.sram_bytes == 52
+    assert optimized.sram_bytes == 71

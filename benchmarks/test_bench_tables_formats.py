@@ -1,0 +1,59 @@
+"""Tables I, II (PTE formats), III (config) and IV (protected bits)."""
+
+from repro.common.config import PTGuardConfig, SystemConfig
+from repro.core import pattern
+from repro.harness.experiments import experiment_tables_1_2
+from repro.analysis.reporting import banner, format_table
+
+
+def test_bench_table1_table2_pte_formats(once, emit):
+    report = once(experiment_tables_1_2)
+    emit(report)
+    assert "51:12" in report  # the 40-bit PFN field PT-Guard harvests
+
+
+def test_bench_table3_config(once, emit):
+    def build():
+        return SystemConfig()
+
+    config = once(build)
+    rows = [
+        ("Core", f"In-Order, {config.frequency_hz / 1e9:.0f} GHz, x86_64 ISA"),
+        ("TLB", f"{config.tlb.entries} entry, fully associative"),
+        ("MMU cache", f"{config.tlb.mmu_cache_bytes // 1024}KB, {config.tlb.mmu_cache_assoc}-way"),
+        ("L1-I/D cache", f"{config.l1d.size_bytes // 1024}KB, {config.l1d.associativity}-way"),
+        ("L2 / L3 cache",
+         f"{config.l2.size_bytes // 1024}KB / {config.l3.size_bytes // 2**20}MB, "
+         f"{config.l3.associativity}-way"),
+        ("DRAM", f"{config.dram.size_bytes // 2**30}GB DDR4"),
+    ]
+    report = banner("Table III: baseline system configuration") + "\n"
+    report += format_table(["component", "value"], rows)
+    emit(report)
+    assert config.tlb.entries == 64
+
+
+def test_bench_table4_protected_bits(once, emit):
+    M = PTGuardConfig().max_phys_bits
+
+    def compute():
+        return pattern.protected_bit_positions(M)
+
+    positions = once(compute)
+    segments = [
+        ("8:0 (except accessed)", all(b in positions for b in (0, 1, 2, 3, 4, 6, 7, 8))
+         and 5 not in positions),
+        ("11:9 programmable", all(b in positions for b in (9, 10, 11))),
+        (f"{M - 1}:12 PFN", all(b in positions for b in range(12, M))),
+        (f"39:{M} ignored -> unprotected", all(b not in positions for b in range(M, 40))),
+        ("51:40 MAC field -> unprotected", all(b not in positions for b in range(40, 52))),
+        ("58:52 ignored -> unprotected", all(b not in positions for b in range(52, 59))),
+        ("63:59 prot keys + NX", all(b in positions for b in range(59, 64))),
+    ]
+    report = banner(f"Table IV: MAC-protected PTE bits (M = {M})") + "\n"
+    report += format_table(["bit range", "as in paper"], segments)
+    report += f"\nprotected bits per PTE: {len(positions)} "
+    report += f"(x8 = {len(positions) * 8} flip-and-check guesses)"
+    emit(report)
+    assert all(ok for _, ok in segments)
+    assert len(positions) * 8 == 352

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Deep dive into PT-Guard's best-effort correction (paper Section VI).
+
+Walks through every guess strategy with hand-built PTE cachelines:
+
+1. soft-matching tolerates faults in the MAC itself;
+2. flip-and-check repairs any single data-bit flip;
+3. almost-zero PTEs are reset (Insight 1: 64 % of PTEs are zero);
+4. flags are repaired by majority vote (Insight 3: uniform flags);
+5. PFNs are repaired by enforcing contiguity (Insight 2: 24 % contiguous).
+
+Run:  python examples/error_correction.py
+"""
+
+import random
+
+from repro.common.config import PTGuardConfig
+from repro.core import pattern
+from repro.core.guard import PTGuard
+from repro.mmu.pte import make_x86_pte
+
+LINE_ADDRESS = 0x123440
+
+
+def fresh_guard() -> PTGuard:
+    return PTGuard(
+        PTGuardConfig(correction_enabled=True, identifier_enabled=True),
+        mac_algorithm="blake2",
+    )
+
+
+def make_pte_line(base_pfn: int, present: int = 8) -> bytes:
+    """A realistic PTE cacheline: contiguous PFNs, uniform flags."""
+    ptes = [
+        make_x86_pte(base_pfn + i, user=True, no_execute=True) if i < present else 0
+        for i in range(8)
+    ]
+    return pattern.join_ptes(ptes)
+
+
+def demo(title: str, guard: PTGuard, stored: bytes, corrupt) -> None:
+    faulty = corrupt(bytearray(stored))
+    outcome = guard.process_read(LINE_ADDRESS, bytes(faulty), is_pte=True)
+    step = (outcome.correction.winning_step or "-") if outcome.correction else "exact match"
+    guesses = outcome.correction.guesses_used if outcome.correction else 0
+    status = "corrected" if outcome.corrected else (
+        "DETECTED (uncorrectable)" if outcome.pte_check_failed else "clean"
+    )
+    print(f"{title:42s} -> {status:24s} strategy={step:22s} guesses={guesses}")
+
+
+def main() -> None:
+    guard = fresh_guard()
+    line = make_pte_line(0x4000)
+    stored = guard.process_write(LINE_ADDRESS, line).stored_line
+    print(f"correction budget G_max = {guard.correction.max_guesses} guesses "
+          f"(paper: 372)\n")
+
+    rng = random.Random(1)
+
+    demo("1 flip in a PFN", guard, stored,
+         lambda b: _flip(b, pte=2, bit=17))
+    demo("1 flip in a flag (writable)", guard, stored,
+         lambda b: _flip(b, pte=5, bit=1))
+    demo("2 flips in the MAC field only", guard, stored,
+         lambda b: _flip(_flip(b, pte=1, bit=45), pte=6, bit=50))
+    demo("1 flip in the identifier field", guard, stored,
+         lambda b: _flip(b, pte=3, bit=55))
+    demo("same flag flipped in one PTE", guard, stored,
+         lambda b: _flip(b, pte=0, bit=63))
+    demo("PFN flips in two PTEs (contiguity)", guard, stored,
+         lambda b: _flip(_flip(b, pte=1, bit=13), pte=4, bit=16))
+    demo("flag+PFN flips (combined strategies)", guard, stored,
+         lambda b: _flip(_flip(b, pte=1, bit=2), pte=6, bit=14))
+
+    # Zero-PTE reset: a line that is mostly zero entries.
+    sparse = make_pte_line(0x9000, present=2)
+    stored_sparse = guard.process_write(LINE_ADDRESS + 64, sparse).stored_line
+
+    def corrupt_zeros(b):
+        for _ in range(3):  # scatter flips over the zero PTEs
+            pte = rng.randrange(3, 8)
+            b[pte * 8 + rng.randrange(5)] ^= 1 << rng.randrange(8)
+        return b
+
+    faulty = corrupt_zeros(bytearray(stored_sparse))
+    outcome = guard.process_read(LINE_ADDRESS + 64, bytes(faulty), is_pte=True)
+    print(f"{'3 flips across zero PTEs':42s} -> "
+          f"{'corrected' if outcome.corrected else 'uncorrectable':24s} "
+          f"strategy={outcome.correction.winning_step}")
+
+    # Beyond correction: a heavy tamper is still *detected*.
+    def massacre(b):
+        for _ in range(60):
+            b[rng.randrange(64)] ^= 1 << rng.randrange(8)
+        return b
+
+    demo("60 random flips (attack-scale)", guard, stored, massacre)
+
+    # The security trade (Sec VI-E): correction costs effective MAC bits.
+    from repro.core import security
+
+    print("\nsecurity cost of fault tolerance (Eq 1):")
+    for k in (0, 1, 4):
+        bits = security.effective_mac_bits(96, k, 372)
+        print(f"  k={k}: effective MAC {bits:.1f} bits, "
+              f"time-to-forgery {security.years_to_attack(96, k, 372):.1e} years")
+
+
+def _flip(buffer: bytearray, pte: int, bit: int) -> bytearray:
+    buffer[pte * 8 + bit // 8] ^= 1 << (bit % 8)
+    return buffer
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Performance study: what PT-Guard costs, and why Optimized fixes it.
+
+Reproduces the mechanism behind Figures 6 and 7 on a handful of
+workloads: baseline PT-Guard pays the MAC latency on *every* DRAM read,
+so slowdown tracks LLC MPKI; the identifier + MAC-zero optimizations
+gate the MAC unit to <2 % of reads and flatten the cost.
+
+Run:  python examples/performance_study.py          (~1-2 min)
+Scale with REPRO_SCALE=3 for smoother numbers.
+"""
+
+import os
+
+from repro.analysis.perf_eval import run_figure6, run_figure7, summarize_figure6
+from repro.analysis.reporting import ascii_bars, banner, format_table
+
+WORKLOADS = ["povray", "xz", "mcf", "lbm", "xalancbmk", "pr"]
+
+
+def main() -> None:
+    scale = float(os.environ.get("REPRO_SCALE", "1"))
+    mem_ops = int(20_000 * scale)
+    warmup = int(12_000 * scale)
+
+    print(banner("Slowdown vs memory intensity (Fig 6 mechanism)"))
+    rows = run_figure6(WORKLOADS, mem_ops=mem_ops, warmup_ops=warmup)
+    print(
+        format_table(
+            ["workload", "LLC MPKI", "PT-Guard slowdown %", "Optimized slowdown %"],
+            [
+                (
+                    r.workload,
+                    round(r.measured_mpki, 1),
+                    round(r.slowdown_percent, 2),
+                    round(r.optimized_slowdown_percent or 0.0, 2),
+                )
+                for r in rows
+            ],
+        )
+    )
+    summary = summarize_figure6(rows)
+    print(f"\nAMEAN slowdown {summary['amean_slowdown_percent']:.2f}% "
+          f"(paper, all 25 workloads: 1.3%); optimized "
+          f"{summary.get('optimized_amean_slowdown_percent', 0):.2f}% (paper: 0.2%)")
+
+    print()
+    print(banner("slowdown tracks MPKI"))
+    print(ascii_bars([r.workload for r in rows],
+                     [max(0.0, r.slowdown_percent) for r in rows], unit="%"))
+
+    print()
+    print(banner("MAC-latency sensitivity (Fig 7)"))
+    points = run_figure7(WORKLOADS[2:], latencies=(5, 10, 20),
+                         mem_ops=mem_ops, warmup_ops=warmup)
+    print(
+        format_table(
+            ["design", "MAC latency (cycles)", "avg slowdown %", "worst %"],
+            [
+                (p.design, p.mac_latency,
+                 round(p.average_slowdown_percent, 2),
+                 round(p.worst_slowdown_percent, 2))
+                for p in points
+            ],
+        )
+    )
+    print("\npaper: baseline design scales 0.7% -> 2.6% over 5 -> 20 cycles;")
+    print("optimized stays flat (<0.3%) because <2% of DRAM reads touch the MAC unit.")
+
+
+if __name__ == "__main__":
+    main()

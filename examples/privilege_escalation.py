@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""The paper's Figure-1/3 exploit, end to end, with and without PT-Guard.
+
+Chain: spray page tables -> one Rowhammer bit-flip makes an attacker PTE
+self-referential -> the attacker rewrites a PTE through its own mapping
+-> arbitrary physical memory (a kernel secret) is exfiltrated.
+
+On the unprotected baseline the chain completes and prints the stolen
+secret. With PT-Guard, the tampered walk raises PTECheckFailed and the
+chain dies at step 2. With correction enabled, the flip is repaired and
+the attacker does not even get a detection signal to iterate on.
+
+Run:  python examples/privilege_escalation.py
+"""
+
+from repro import PTGuardConfig, build_system
+from repro.attacks.exploit import PrivilegeEscalationExploit
+
+
+def banner(text: str) -> None:
+    print(f"\n=== {text} {'=' * max(0, 60 - len(text))}")
+
+
+def describe(outcome) -> None:
+    print(f"  flip applied:             {outcome.flip_applied}")
+    print(f"  detected (PTECheckFailed):{outcome.detected}")
+    print(f"  transparently corrected:  {outcome.corrected}")
+    print(f"  tampered PTE consumed:    {outcome.tampered_pte_consumed}")
+    print(f"  self-referential PTE:     {outcome.self_reference_achieved}")
+    if outcome.kernel_memory_read:
+        print(f"  KERNEL MEMORY STOLEN:     {outcome.kernel_memory_read[:24]!r}...")
+    else:
+        print("  kernel memory stolen:     no")
+
+
+def main() -> None:
+    banner("Unprotected baseline")
+    exploit = PrivilegeEscalationExploit(build_system(), num_pages=2048)
+    outcome = exploit.attempt()
+    describe(outcome)
+    assert outcome.escalated, "baseline should be exploitable"
+
+    banner("PT-Guard (detection)")
+    exploit = PrivilegeEscalationExploit(
+        build_system(ptguard=PTGuardConfig()), num_pages=2048
+    )
+    outcome = exploit.attempt()
+    describe(outcome)
+    assert outcome.detected and not outcome.escalated
+
+    banner("PT-Guard (detection + best-effort correction)")
+    exploit = PrivilegeEscalationExploit(
+        build_system(ptguard=PTGuardConfig(correction_enabled=True)), num_pages=2048
+    )
+    outcome = exploit.attempt()
+    describe(outcome)
+    assert outcome.corrected and not outcome.escalated
+
+    banner("Metadata tampering (user/supervisor bit, Sec II-C)")
+    meta = PrivilegeEscalationExploit(build_system(), num_pages=64).tamper_metadata_bit()
+    print("baseline: kernel page became user-accessible:",
+          meta.tampered_pte_consumed)
+    meta = PrivilegeEscalationExploit(
+        build_system(ptguard=PTGuardConfig()), num_pages=64
+    ).tamper_metadata_bit()
+    print("PT-Guard: tampering detected:", meta.detected)
+
+    print("\nInvariant held: no PTE cacheline with bit flips was ever "
+          "consumed on a page-table walk under PT-Guard (Sec IV-G).")
+
+
+if __name__ == "__main__":
+    main()

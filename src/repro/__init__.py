@@ -1,0 +1,75 @@
+"""PT-Guard reproduction: integrity-protected page tables vs Rowhammer.
+
+A from-scratch Python implementation of *PT-Guard: Integrity-Protected
+Page Tables to Defend Against Breakthrough Rowhammer Attacks* (DSN 2023)
+and every substrate its evaluation depends on: a DDR4 DRAM model with a
+Rowhammer fault model, a memory controller hosting the PT-Guard MAC
+machinery, a three-level cache hierarchy, a 4-level x86_64 MMU with TLB
+and page-walk caches, a miniature OS with buddy allocation and demand
+paging, an in-order CPU timing model, and the attack/defense zoo the
+paper positions itself against.
+
+Quick start::
+
+    from repro import build_system, PTGuardConfig
+
+    system = build_system(ptguard=PTGuardConfig(correction_enabled=True))
+    process = system.kernel.create_process("app")
+    vma = system.kernel.mmap(process, num_pages=16, populate=True)
+    physical = system.kernel.access_virtual(process, vma.start)
+
+See ``examples/`` for complete scenarios and ``benchmarks/`` for the
+paper's tables and figures.
+"""
+
+from repro.common.config import (
+    CacheConfig,
+    DRAMConfig,
+    DRAMTimingConfig,
+    PTGuardConfig,
+    SystemConfig,
+    TLBConfig,
+    default_system_config,
+    optimized_ptguard_config,
+)
+from repro.common.errors import (
+    AllocationError,
+    CollisionBufferOverflow,
+    ConfigurationError,
+    IntegrityError,
+    PTGuardError,
+    PageFaultError,
+    TranslationError,
+)
+from repro.core.guard import PTGuard, ReadOutcome, WriteOutcome
+from repro.dram.rowhammer import RowhammerProfile
+from repro.harness.system import System, build_system
+from repro.mmu.walker import PTEIntegrityException
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CacheConfig",
+    "DRAMConfig",
+    "DRAMTimingConfig",
+    "PTGuardConfig",
+    "SystemConfig",
+    "TLBConfig",
+    "default_system_config",
+    "optimized_ptguard_config",
+    "AllocationError",
+    "CollisionBufferOverflow",
+    "ConfigurationError",
+    "IntegrityError",
+    "PTGuardError",
+    "PageFaultError",
+    "TranslationError",
+    "PTGuard",
+    "ReadOutcome",
+    "WriteOutcome",
+    "RowhammerProfile",
+    "System",
+    "build_system",
+    "PTEIntegrityException",
+    "__version__",
+]

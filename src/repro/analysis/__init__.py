@@ -1,0 +1,77 @@
+"""Experiment analyses: one module per paper table/figure family."""
+
+from repro.analysis.attack_matrix import (
+    ConsumptionExperiment,
+    FlipExperiment,
+    run_consumption_matrix,
+    run_flip_experiment,
+    run_flip_matrix,
+)
+from repro.analysis.correction_eval import (
+    CorrectionStats,
+    Figure9Result,
+    evaluate_workload,
+    run_figure9,
+)
+from repro.analysis.perf_eval import (
+    Figure6Row,
+    Figure7Point,
+    run_figure6,
+    run_figure7,
+    summarize_figure6,
+)
+from repro.analysis.pte_profile import (
+    PopulationConfig,
+    PopulationProfile,
+    ProcessProfile,
+    profile_population,
+    profile_process,
+    run_figure8,
+    synthesize_population,
+)
+from repro.analysis.reporting import ascii_bars, banner, format_table
+
+__all__ = [
+    "ConsumptionExperiment",
+    "FlipExperiment",
+    "run_consumption_matrix",
+    "run_flip_experiment",
+    "run_flip_matrix",
+    "CorrectionStats",
+    "Figure9Result",
+    "evaluate_workload",
+    "run_figure9",
+    "Figure6Row",
+    "Figure7Point",
+    "run_figure6",
+    "run_figure7",
+    "summarize_figure6",
+    "PopulationConfig",
+    "PopulationProfile",
+    "ProcessProfile",
+    "profile_population",
+    "profile_process",
+    "run_figure8",
+    "synthesize_population",
+    "ascii_bars",
+    "banner",
+    "format_table",
+]
+
+from repro.analysis.dos_eval import DoSExperiment, DoSOutcome, compare_policies  # noqa: E402
+from repro.analysis.overhead_model import (  # noqa: E402
+    EnergyEstimate,
+    agreement_error,
+    energy_estimate,
+    predicted_slowdown_percent,
+)
+
+__all__ += [
+    "DoSExperiment",
+    "DoSOutcome",
+    "compare_policies",
+    "EnergyEstimate",
+    "agreement_error",
+    "energy_estimate",
+    "predicted_slowdown_percent",
+]

@@ -1,0 +1,134 @@
+"""Denial-of-Service and OS-response analysis (paper Sec IV-G, VII-B).
+
+When PT-Guard detects bit flips, the OS receives an exception and must
+choose a response; an adversary might weaponise detection into a DoS by
+repeatedly flipping a victim's PTEs. This module models the OS playbook
+the paper sketches — terminate the victim, remap the victim's page
+tables to a different physical row, or terminate the process resident in
+the aggressor row — and measures the outcome of each policy under a
+sustained attack.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.common.config import CACHELINE_BYTES, PAGE_BYTES, PTGuardConfig
+from repro.harness.system import System, build_system
+from repro.mmu.walker import PTEIntegrityException
+from repro.os.process import Process
+
+
+@dataclass
+class DoSOutcome:
+    """Result of one sustained-attack episode under an OS policy."""
+
+    policy: str
+    attack_rounds: int
+    victim_kills: int
+    successful_accesses: int
+    remaps: int
+    attacker_killed: bool
+
+    @property
+    def availability(self) -> float:
+        """Fraction of victim accesses that succeeded during the attack."""
+        total = self.successful_accesses + self.victim_kills
+        return self.successful_accesses / total if total else 0.0
+
+
+class DoSExperiment:
+    """A repeated-flip adversary against one victim process."""
+
+    def __init__(self, policy: str = "kill_victim", rounds: int = 20, seed: int = 3):
+        if policy not in ("kill_victim", "remap_victim", "kill_aggressor"):
+            raise ValueError(f"unknown policy {policy!r}")
+        self.policy = policy
+        self.rounds = rounds
+        self.rng = random.Random(seed)
+        self.system: System = build_system(ptguard=PTGuardConfig())
+        self.kernel = self.system.kernel
+        self.victim: Process = self.kernel.create_process("victim")
+        self.vma = self.kernel.mmap(self.victim, 8, populate=True)
+
+    def _flip_victim_pte(self) -> int:
+        entry = self.victim.page_table.leaf_entry_address(self.vma.start)
+        line = entry & ~(CACHELINE_BYTES - 1)
+        self.system.memory.flip_bit(line, self.rng.randrange(512))
+        return line
+
+    def _remap_page_table(self) -> None:
+        """Move the victim's leaf page-table page to a fresh frame —
+        the paper's 'remap the row experiencing bit flips' response."""
+        old_steps = self.victim.page_table.walk_software(self.vma.start)
+        assert old_steps is not None
+        # Rebuild the mapping from scratch in a new leaf table: simplest
+        # faithful model — unmap + remap reallocates via map()'s walk.
+        for page in range(self.vma.num_pages):
+            va = self.vma.start + page * PAGE_BYTES
+            pfn = self.victim.frames.get(va >> 12)
+            if pfn is not None:
+                self.victim.page_table.map(va, pfn, writable=True, user=True)
+
+    def run(self) -> DoSOutcome:
+        kills = 0
+        successes = 0
+        remaps = 0
+        attacker_killed = False
+        for _ in range(self.rounds):
+            self._flip_victim_pte()
+            self.kernel.walker.flush_all()
+            try:
+                self.kernel.access_virtual(self.victim, self.vma.start)
+                successes += 1
+                continue
+            except PTEIntegrityException:
+                pass
+            if self.policy == "kill_victim":
+                kills += 1
+                # The OS restarts the victim: fresh tables, clean state.
+                self.kernel.destroy_process(self.victim)
+                self.victim = self.kernel.create_process("victim")
+                self.vma = self.kernel.mmap(self.victim, 8, populate=True)
+            elif self.policy == "remap_victim":
+                remaps += 1
+                self._remap_page_table()
+                self.kernel.walker.flush_all()
+                try:
+                    self.kernel.access_virtual(self.victim, self.vma.start)
+                    successes += 1
+                except PTEIntegrityException:
+                    kills += 1
+            elif self.policy == "kill_aggressor":
+                # With the aggressor gone, no further flips arrive.
+                attacker_killed = True
+                kills += 1
+                self._remap_page_table()
+                self.kernel.walker.flush_all()
+                break
+        if attacker_killed:
+            # Post-attack: the victim runs unharassed.
+            for _ in range(self.rounds):
+                try:
+                    self.kernel.access_virtual(self.victim, self.vma.start)
+                    successes += 1
+                except PTEIntegrityException:
+                    kills += 1
+        return DoSOutcome(
+            policy=self.policy,
+            attack_rounds=self.rounds,
+            victim_kills=kills,
+            successful_accesses=successes,
+            remaps=remaps,
+            attacker_killed=attacker_killed,
+        )
+
+
+def compare_policies(rounds: int = 16, seed: int = 3) -> List[DoSOutcome]:
+    """Run every OS response policy against the same adversary."""
+    return [
+        DoSExperiment(policy, rounds=rounds, seed=seed).run()
+        for policy in ("kill_victim", "remap_victim", "kill_aggressor")
+    ]

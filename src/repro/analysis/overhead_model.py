@@ -1,0 +1,77 @@
+"""Closed-form overhead model, cross-validating the simulator (Fig 6/7).
+
+The paper's slowdown mechanism is simple enough to state analytically:
+baseline PT-Guard adds ``L_mac`` cycles to every DRAM read, so
+
+    slowdown ~ (reads_per_kilo_instruction x L_mac) / base_CPK
+
+where ``base_CPK`` is baseline cycles per kilo-instruction. The simulator
+must agree with this first-order model to a small tolerance — a strong
+internal-consistency check that the measured Figure-6 numbers arise from
+the mechanism the paper describes and not from simulation artefacts.
+
+Also includes the Section V-E energy model: ~1.6 nJ per MAC computation
+(Banik et al. [6]) against ~20 nJ per DRAM access, with the identifier
+optimization gating the MAC unit to <2 % of reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpu.core import CoreResult
+
+MAC_ENERGY_NJ = 1.6  # 15 nm gates, paper Sec V-E
+DRAM_ACCESS_ENERGY_NJ = 20.0  # typical DDR4 64-byte access energy
+
+
+def predicted_slowdown_percent(
+    baseline: CoreResult, mac_latency_cycles: int, checked_read_fraction: float = 1.0
+) -> float:
+    """First-order slowdown prediction from a baseline run.
+
+    ``checked_read_fraction`` is 1.0 for baseline PT-Guard (every DRAM
+    read pays the MAC unit) and the measured identifier-match fraction
+    for Optimized PT-Guard.
+    """
+    if baseline.cycles == 0:
+        return 0.0
+    extra_cycles = baseline.dram_reads * mac_latency_cycles * checked_read_fraction
+    return 100.0 * extra_cycles / baseline.cycles
+
+
+def agreement_error(
+    baseline: CoreResult, guarded: CoreResult, mac_latency_cycles: int
+) -> float:
+    """|simulated - predicted| slowdown, in percentage points."""
+    simulated = 100.0 * (baseline.ipc / guarded.ipc - 1.0)
+    predicted = predicted_slowdown_percent(baseline, mac_latency_cycles)
+    return abs(simulated - predicted)
+
+
+@dataclass(frozen=True)
+class EnergyEstimate:
+    """Energy overhead of PT-Guard for one simulation window."""
+
+    dram_accesses: int
+    mac_computations: int
+    dram_energy_nj: float
+    mac_energy_nj: float
+
+    @property
+    def overhead_percent(self) -> float:
+        return 100.0 * self.mac_energy_nj / self.dram_energy_nj if self.dram_energy_nj else 0.0
+
+    @property
+    def checked_fraction(self) -> float:
+        return self.mac_computations / self.dram_accesses if self.dram_accesses else 0.0
+
+
+def energy_estimate(dram_accesses: int, mac_computations: int) -> EnergyEstimate:
+    """Sec V-E: MAC energy relative to DRAM access energy."""
+    return EnergyEstimate(
+        dram_accesses=dram_accesses,
+        mac_computations=mac_computations,
+        dram_energy_nj=dram_accesses * DRAM_ACCESS_ENERGY_NJ,
+        mac_energy_nj=mac_computations * MAC_ENERGY_NJ,
+    )

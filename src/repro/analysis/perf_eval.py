@@ -1,0 +1,221 @@
+"""Performance evaluation (paper Section IV-H, V-C/V-D; Figures 6 and 7).
+
+Runs each workload trace on the simulated machine three ways —
+unprotected baseline, PT-Guard, Optimized PT-Guard — and reports
+normalized IPC and LLC MPKI per workload (Fig 6), plus the MAC-latency
+sensitivity sweep over {5, 10, 15, 20} cycles for average and worst case
+(Fig 7).
+
+Timing runs use the ``pseudo`` MAC: tag *values* never affect timing
+(only pattern/identifier matches do), and it keeps multi-million-access
+simulations tractable — see :class:`repro.crypto.mac.PseudoLineMAC`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.common.config import PTGuardConfig, optimized_ptguard_config
+from repro.cpu.core import CoreResult
+from repro.cpu.workloads import WORKLOADS, WorkloadProfile, get_workload
+from repro.harness.system import build_system
+
+
+@dataclass(frozen=True)
+class WorkloadRun:
+    """One (workload, configuration) timing result."""
+
+    workload: str
+    configuration: str  # "baseline" | "ptguard" | "optimized"
+    result: CoreResult
+
+    @property
+    def ipc(self) -> float:
+        return self.result.ipc
+
+
+@dataclass
+class Figure6Row:
+    """One workload's Fig-6 datapoint."""
+
+    workload: str
+    suite: str
+    target_mpki: float
+    measured_mpki: float
+    baseline_ipc: float
+    ptguard_ipc: float
+    optimized_ipc: Optional[float] = None
+
+    @property
+    def normalized_ipc(self) -> float:
+        """IPC / IPC_b for PT-Guard (the Fig-6 top panel)."""
+        return self.ptguard_ipc / self.baseline_ipc if self.baseline_ipc else 0.0
+
+    @property
+    def slowdown_percent(self) -> float:
+        return (self.baseline_ipc / self.ptguard_ipc - 1.0) * 100.0 if self.ptguard_ipc else 0.0
+
+    @property
+    def optimized_slowdown_percent(self) -> Optional[float]:
+        if self.optimized_ipc is None or not self.optimized_ipc:
+            return None
+        return (self.baseline_ipc / self.optimized_ipc - 1.0) * 100.0
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def arithmetic_mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+def run_workload(
+    profile: WorkloadProfile,
+    guard_config: Optional[PTGuardConfig],
+    mem_ops: int = 20_000,
+    warmup_ops: int = 12_000,
+    seed: int = 1,
+    prefault: bool = False,
+) -> CoreResult:
+    """Simulate one workload on one machine configuration.
+
+    With ``prefault=False`` (default) pages fault in on first touch —
+    mostly during the untimed warmup, exactly like the paper's
+    KVM-fast-forward methodology; faults are OS work outside the timed
+    window either way, and the baseline/guarded runs see identical
+    streams, so slowdown ratios are unaffected while runs start ~2s
+    faster on large-footprint workloads.
+    """
+    system = build_system(ptguard=guard_config, mac_algorithm="pseudo", seed=seed)
+    process, trace = system.workload_process(profile, seed=seed)
+    core = system.new_core(process)
+    if prefault:
+        core.prefault(trace)
+    return core.run(trace, mem_ops=mem_ops, warmup_ops=warmup_ops)
+
+
+def run_figure6(
+    workload_names: Optional[Sequence[str]] = None,
+    mem_ops: int = 20_000,
+    warmup_ops: int = 12_000,
+    mac_latency: int = 10,
+    include_optimized: bool = True,
+    seed: int = 1,
+) -> List[Figure6Row]:
+    """Figure 6: per-workload normalized IPC + MPKI at the default latency."""
+    profiles = (
+        [get_workload(name) for name in workload_names]
+        if workload_names is not None
+        else list(WORKLOADS)
+    )
+    rows: List[Figure6Row] = []
+    for profile in profiles:
+        base = run_workload(profile, None, mem_ops, warmup_ops, seed)
+        guarded = run_workload(
+            profile, PTGuardConfig(mac_latency_cycles=mac_latency),
+            mem_ops, warmup_ops, seed,
+        )
+        optimized = (
+            run_workload(
+                profile, optimized_ptguard_config(mac_latency), mem_ops, warmup_ops, seed
+            )
+            if include_optimized
+            else None
+        )
+        rows.append(
+            Figure6Row(
+                workload=profile.name,
+                suite=profile.suite,
+                target_mpki=profile.target_mpki,
+                measured_mpki=base.llc_mpki,
+                baseline_ipc=base.ipc,
+                ptguard_ipc=guarded.ipc,
+                optimized_ipc=optimized.ipc if optimized else None,
+            )
+        )
+    return rows
+
+
+@dataclass
+class Figure7Point:
+    """One (design, MAC latency) sweep point: average + worst slowdown."""
+
+    design: str  # "ptguard" | "optimized"
+    mac_latency: int
+    average_slowdown_percent: float
+    worst_slowdown_percent: float
+    worst_workload: str
+
+
+def run_figure7(
+    workload_names: Optional[Sequence[str]] = None,
+    latencies: Sequence[int] = (5, 10, 15, 20),
+    mem_ops: int = 20_000,
+    warmup_ops: int = 12_000,
+    seed: int = 1,
+) -> List[Figure7Point]:
+    """Figure 7: slowdown vs MAC-computation latency, both designs.
+
+    Baselines are simulated once per workload and reused across the sweep.
+    """
+    profiles = (
+        [get_workload(name) for name in workload_names]
+        if workload_names is not None
+        else list(WORKLOADS)
+    )
+    baselines: Dict[str, CoreResult] = {
+        p.name: run_workload(p, None, mem_ops, warmup_ops, seed) for p in profiles
+    }
+    points: List[Figure7Point] = []
+    for design in ("ptguard", "optimized"):
+        for latency in latencies:
+            slowdowns = []
+            for profile in profiles:
+                config = (
+                    PTGuardConfig(mac_latency_cycles=latency)
+                    if design == "ptguard"
+                    else optimized_ptguard_config(latency)
+                )
+                result = run_workload(profile, config, mem_ops, warmup_ops, seed)
+                base_ipc = baselines[profile.name].ipc
+                slowdowns.append(
+                    (profile.name, (base_ipc / result.ipc - 1.0) * 100.0)
+                )
+            worst_name, worst = max(slowdowns, key=lambda item: item[1])
+            points.append(
+                Figure7Point(
+                    design=design,
+                    mac_latency=latency,
+                    average_slowdown_percent=arithmetic_mean([s for _, s in slowdowns]),
+                    worst_slowdown_percent=worst,
+                    worst_workload=worst_name,
+                )
+            )
+    return points
+
+
+def summarize_figure6(rows: List[Figure6Row]) -> Dict[str, float]:
+    """The headline statistics the paper quotes from Fig 6."""
+    slowdowns = [row.slowdown_percent for row in rows]
+    normalized = [row.normalized_ipc for row in rows]
+    summary = {
+        "amean_slowdown_percent": arithmetic_mean(slowdowns),
+        "gmean_normalized_ipc": geometric_mean(normalized),
+        "worst_slowdown_percent": max(slowdowns) if slowdowns else 0.0,
+        "worst_workload_mpki": max((r.measured_mpki for r in rows), default=0.0),
+    }
+    optimized = [
+        row.optimized_slowdown_percent
+        for row in rows
+        if row.optimized_slowdown_percent is not None
+    ]
+    if optimized:
+        summary["optimized_amean_slowdown_percent"] = arithmetic_mean(optimized)
+        summary["optimized_worst_slowdown_percent"] = max(optimized)
+    return summary

@@ -1,0 +1,30 @@
+"""Attacks and prior defenses: hammer patterns, the Fig-3 exploit chain,
+and the mitigations PT-Guard is compared against."""
+
+from repro.attacks.defenses import (
+    PARA,
+    TRR,
+    CounterTRR,
+    MonotonicPlacement,
+    SecWalkChecker,
+    SoftTRR,
+)
+from repro.attacks.exploit import ExploitOutcome, PrivilegeEscalationExploit
+from repro.attacks.hammer import HammerAttack, HammerReport
+
+__all__ = [
+    "PARA",
+    "TRR",
+    "CounterTRR",
+    "MonotonicPlacement",
+    "SecWalkChecker",
+    "SoftTRR",
+    "ExploitOutcome",
+    "PrivilegeEscalationExploit",
+    "HammerAttack",
+    "HammerReport",
+]
+
+from repro.attacks.defenses import CompositeMitigation  # noqa: E402
+
+__all__.append("CompositeMitigation")

@@ -1,0 +1,293 @@
+"""Prior Rowhammer defenses the paper compares against (Sec II, VIII).
+
+Activation-tracking mitigations (plug into
+:class:`~repro.dram.device.DRAMDevice` as ``mitigation``):
+
+* :class:`PARA` — probabilistic adjacent-row refresh [29];
+* :class:`TRR` — a sampler-based in-DRAM Target Row Refresh, defeated by
+  many-sided patterns that exceed its sampler capacity [15, 22];
+* :class:`CounterTRR` — Graphene-style precise counting (Misra-Gries)
+  with design-time threshold, defeated by modules whose real threshold is
+  lower and by Half-Double (its own victim refreshes hammer distance-2
+  rows) [30];
+* :class:`SoftTRR` — software tracking of *PTE rows only* [63]; same
+  mitigation action as TRR, hence the same Half-Double weakness.
+
+PTE-level protections (checked at walk time by the attack harness):
+
+* :class:`SecWalkChecker` — a 25-bit per-PTE error-detection code that
+  catches at most 4 flips per PTE [50];
+* :class:`MonotonicPlacement` — page tables in true-cell (1->0) rows above
+  a watermark so PFN flips cannot point *up* into page tables [58];
+  metadata bits (user/write/NX/MPK) remain fully exposed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.common.bitops import hamming_distance
+from repro.dram.rowhammer import RowKey
+
+
+def _neighbors(row_key: RowKey, distance: int, rows_per_bank: int) -> List[RowKey]:
+    channel, rank, bank, row = row_key
+    out = []
+    for delta in (-distance, distance):
+        neighbor = row + delta
+        if 0 <= neighbor < rows_per_bank:
+            out.append((channel, rank, bank, neighbor))
+    return out
+
+
+class PARA:
+    """Probabilistic Adjacent Row Activation [29].
+
+    On every activation, with probability ``p`` the neighbours of the
+    activated row receive a victim refresh. Effective at distance 1 given
+    a high enough ``p``, but each refresh re-activates the refreshed
+    wordline — the lever Half-Double pulls.
+    """
+
+    name = "PARA"
+
+    def __init__(self, probability: float, rows_per_bank: int, seed: int = 7):
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("probability must lie in [0, 1]")
+        self.probability = probability
+        self.rows_per_bank = rows_per_bank
+        self._rng = random.Random(seed)
+        self.refreshes_issued = 0
+
+    def on_activation(self, row_key: RowKey, cycle: int) -> List[RowKey]:
+        if self._rng.random() < self.probability:
+            victims = _neighbors(row_key, 1, self.rows_per_bank)
+            self.refreshes_issued += len(victims)
+            return victims
+        return []
+
+    def on_refresh_window(self) -> None:
+        pass
+
+
+class TRR:
+    """Sampler-based Target Row Refresh, as shipped in DDR4 modules.
+
+    Tracks at most ``sampler_size`` candidate aggressors; every
+    ``mitigation_interval`` activations, the hottest candidate's
+    neighbours get a victim refresh. TRRespass/Blacksmith defeat it by
+    hammering more aggressors than the sampler can hold [15, 22].
+    """
+
+    name = "TRR"
+
+    def __init__(
+        self,
+        rows_per_bank: int,
+        sampler_size: int = 4,
+        mitigation_interval: int = 2000,
+    ):
+        self.rows_per_bank = rows_per_bank
+        self.sampler_size = sampler_size
+        self.mitigation_interval = mitigation_interval
+        self._sampler: Dict[RowKey, int] = {}
+        self._activations_seen = 0
+        self.refreshes_issued = 0
+
+    def on_activation(self, row_key: RowKey, cycle: int) -> List[RowKey]:
+        self._activations_seen += 1
+        if row_key in self._sampler:
+            self._sampler[row_key] += 1
+        elif len(self._sampler) < self.sampler_size:
+            self._sampler[row_key] = 1
+        # A full sampler ignores new aggressors until the refresh window
+        # drains it — exactly the blind spot many-sided patterns exploit:
+        # with more simultaneous aggressors than sampler entries, the
+        # untracked ones hammer their victims unmitigated all window.
+        if self._activations_seen % self.mitigation_interval == 0 and self._sampler:
+            hottest = max(self._sampler, key=self._sampler.get)
+            self._sampler[hottest] = 0  # served; stays tracked
+            victims = _neighbors(hottest, 1, self.rows_per_bank)
+            self.refreshes_issued += len(victims)
+            return victims
+        return []
+
+    def on_refresh_window(self) -> None:
+        self._sampler.clear()
+        self._activations_seen = 0
+
+
+class CounterTRR:
+    """Graphene-style precise activation counting (Misra-Gries summary).
+
+    Refreshes the neighbours of any row whose count reaches
+    ``design_threshold``. Within its design assumptions it stops all
+    distance-1 hammering — but its victim refreshes re-activate the
+    refreshed rows, so Half-Double pressure on distance-2 victims grows
+    *because of* the mitigation; and a module whose true threshold is
+    below ``design_threshold`` flips before the counter trips.
+    """
+
+    name = "CounterTRR"
+
+    def __init__(self, rows_per_bank: int, design_threshold: int, table_size: int = 64):
+        self.rows_per_bank = rows_per_bank
+        self.design_threshold = design_threshold
+        self.table_size = table_size
+        self._counts: Dict[RowKey, int] = {}
+        self.refreshes_issued = 0
+
+    def on_activation(self, row_key: RowKey, cycle: int) -> List[RowKey]:
+        counts = self._counts
+        if row_key in counts:
+            counts[row_key] += 1
+        elif len(counts) < self.table_size:
+            counts[row_key] = 1
+        else:
+            # Misra-Gries decrement step.
+            for key in list(counts):
+                counts[key] -= 1
+                if counts[key] <= 0:
+                    del counts[key]
+        if counts.get(row_key, 0) >= self.design_threshold:
+            counts[row_key] = 0
+            victims = _neighbors(row_key, 1, self.rows_per_bank)
+            self.refreshes_issued += len(victims)
+            return victims
+        return []
+
+    def on_refresh_window(self) -> None:
+        self._counts.clear()
+
+
+class SoftTRR:
+    """SoftTRR [63]: kernel-side tracking of rows that hold page tables.
+
+    Only activations that neighbour a registered PTE row are tracked;
+    when the count passes the design threshold, the PTE row is refreshed.
+    Identical mitigation primitive to TRR, so Half-Double (distance-2)
+    defeats it, and an optimistic design threshold misses low-RTH modules.
+    """
+
+    name = "SoftTRR"
+
+    def __init__(self, rows_per_bank: int, design_threshold: int):
+        self.rows_per_bank = rows_per_bank
+        self.design_threshold = design_threshold
+        self._pte_rows: Set[RowKey] = set()
+        self._counts: Dict[RowKey, int] = {}
+        self.refreshes_issued = 0
+
+    def register_pte_row(self, row_key: RowKey) -> None:
+        """The kernel tells SoftTRR where page tables live."""
+        self._pte_rows.add(row_key)
+
+    def on_activation(self, row_key: RowKey, cycle: int) -> List[RowKey]:
+        victims: List[RowKey] = []
+        for neighbor in _neighbors(row_key, 1, self.rows_per_bank):
+            if neighbor in self._pte_rows:
+                self._counts[neighbor] = self._counts.get(neighbor, 0) + 1
+                if self._counts[neighbor] >= self.design_threshold:
+                    self._counts[neighbor] = 0
+                    victims.append(neighbor)
+        self.refreshes_issued += len(victims)
+        return victims
+
+    def on_refresh_window(self) -> None:
+        self._counts.clear()
+
+
+class CompositeMitigation:
+    """Stack several mitigations (e.g. SoftTRR in the kernel above the
+    module's built-in TRR), as deployed systems do. Victim refreshes from
+    every layer are unioned — which is exactly how a software defense
+    inherits the hardware defense's Half-Double exposure."""
+
+    def __init__(self, *layers):
+        self.layers = list(layers)
+        self.name = "+".join(layer.name for layer in layers)
+
+    def on_activation(self, row_key: RowKey, cycle: int) -> List[RowKey]:
+        victims: List[RowKey] = []
+        for layer in self.layers:
+            victims.extend(layer.on_activation(row_key, cycle))
+        return victims
+
+    def on_refresh_window(self) -> None:
+        for layer in self.layers:
+            layer.on_refresh_window()
+
+    @property
+    def refreshes_issued(self) -> int:
+        return sum(getattr(layer, "refreshes_issued", 0) for layer in self.layers)
+
+
+# -- PTE-level protections ---------------------------------------------------
+
+
+@dataclass
+class DetectionVerdict:
+    """What a PTE-level checker concluded about a (possibly faulty) PTE."""
+
+    detected: bool
+    reason: str
+
+
+class SecWalkChecker:
+    """SecWalk's [50] per-PTE error-detection code, as the paper models it:
+    a 25-bit non-cryptographic EDC that detects at most 4 bit flips per
+    PTE. Five or more flips — or an adversary solving the linear code —
+    escape detection (the ECCploit [10] argument)."""
+
+    name = "SecWalk"
+    max_detectable_flips = 4
+
+    def check(self, original_pte: int, observed_pte: int) -> DetectionVerdict:
+        flips = hamming_distance(original_pte, observed_pte)
+        if flips == 0:
+            return DetectionVerdict(detected=False, reason="clean")
+        if flips <= self.max_detectable_flips:
+            return DetectionVerdict(detected=True, reason=f"{flips} flips <= 4")
+        return DetectionVerdict(
+            detected=False, reason=f"{flips} flips exceed EDC distance"
+        )
+
+
+class MonotonicPlacement:
+    """Monotonic pointers [58]: page tables live in true-cell rows above a
+    PFN watermark; user frames live below. A 1->0 PFN flip can only lower
+    the PFN, so it cannot redirect a PTE *into* the page-table region.
+
+    :meth:`exploit_prevented` evaluates whether a given tampering is
+    stopped. Metadata flips (user/writable/NX/MPK) are out of scope for
+    the defense and always succeed against it.
+    """
+
+    name = "MonotonicPointers"
+
+    def __init__(self, watermark_pfn: int):
+        self.watermark_pfn = watermark_pfn
+
+    def placement_ok(self, table_pfn: int) -> bool:
+        return table_pfn >= self.watermark_pfn
+
+    def exploit_prevented(
+        self, original_pte: int, tampered_pte: int, tampered_pfn: int
+    ) -> DetectionVerdict:
+        pfn_bits_changed = (original_pte ^ tampered_pte) & (((1 << 40) - 1) << 12)
+        metadata_changed = (original_pte ^ tampered_pte) & ~(((1 << 40) - 1) << 12)
+        if metadata_changed and not pfn_bits_changed:
+            return DetectionVerdict(
+                detected=False, reason="metadata-only tampering not covered"
+            )
+        # True cells only discharge: a flip can only clear PFN bits, so the
+        # PFN monotonically decreases — below the page-table watermark.
+        if tampered_pfn < self.watermark_pfn:
+            return DetectionVerdict(
+                detected=True, reason="PFN fell below page-table watermark"
+            )
+        return DetectionVerdict(
+            detected=False, reason="anti-cell (0->1) flip escaped monotonicity"
+        )

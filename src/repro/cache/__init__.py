@@ -1,0 +1,12 @@
+"""Cache substrate: set-associative caches and the three-level hierarchy."""
+
+from repro.cache.cache import Cache, CacheLine, EvictedLine
+from repro.cache.hierarchy import AccessResult, CacheHierarchy
+
+__all__ = [
+    "Cache",
+    "CacheLine",
+    "EvictedLine",
+    "AccessResult",
+    "CacheHierarchy",
+]

@@ -1,0 +1,141 @@
+"""Set-associative write-back cache with LRU replacement.
+
+Caches carry data (64-byte lines), so the hierarchy is a faithful
+functional filter in front of the memory controller: PT-Guard only ever
+sees true DRAM traffic (misses and dirty evictions), exactly as in the
+paper's Figure 5, and lines cached before a Rowhammer flip keep shielding
+their consumers until evicted — a property the attack experiments rely on.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.common.bitops import log2_exact
+from repro.common.config import CacheConfig
+from repro.common.stats import StatGroup
+
+
+@dataclass
+class CacheLine:
+    """One resident line: its data and dirty state."""
+
+    data: bytes
+    dirty: bool = False
+    is_pte: bool = False  # provenance tag (isPTE travelled with the fill)
+
+
+@dataclass(frozen=True)
+class EvictedLine:
+    """A victim pushed out by a fill; dirty victims must be written back."""
+
+    address: int
+    data: bytes
+    dirty: bool
+
+
+class Cache:
+    """One cache level. Addresses are line-aligned physical addresses."""
+
+    def __init__(self, config: CacheConfig):
+        self.config = config
+        self._offset_bits = log2_exact(config.line_bytes)
+        self._set_bits = log2_exact(config.num_sets)
+        # Per-set OrderedDict used as an LRU: oldest entry first.
+        self._sets: Dict[int, OrderedDict[int, CacheLine]] = {}
+        self.stats = StatGroup(config.name)
+
+    def _index(self, address: int) -> Tuple[int, int]:
+        line_address = address >> self._offset_bits
+        set_index = line_address & (self.config.num_sets - 1)
+        tag = line_address >> self._set_bits
+        return set_index, tag
+
+    def lookup(self, address: int, touch: bool = True) -> Optional[CacheLine]:
+        """Probe for ``address``; moves the line to MRU when ``touch``."""
+        set_index, tag = self._index(address)
+        lines = self._sets.get(set_index)
+        if lines is None or tag not in lines:
+            self.stats.increment("misses")
+            return None
+        self.stats.increment("hits")
+        if touch:
+            lines.move_to_end(tag)
+        return lines[tag]
+
+    def fill(
+        self, address: int, data: bytes, dirty: bool = False, is_pte: bool = False
+    ) -> Optional[EvictedLine]:
+        """Install a line, evicting the LRU victim of its set if needed."""
+        set_index, tag = self._index(address)
+        lines = self._sets.setdefault(set_index, OrderedDict())
+        victim: Optional[EvictedLine] = None
+        if tag in lines:
+            existing = lines[tag]
+            lines[tag] = CacheLine(data=data, dirty=dirty or existing.dirty, is_pte=is_pte)
+            lines.move_to_end(tag)
+            return None
+        if len(lines) >= self.config.associativity:
+            victim_tag, victim_line = lines.popitem(last=False)
+            victim_address = self._compose(set_index, victim_tag)
+            self.stats.increment("evictions")
+            if victim_line.dirty:
+                self.stats.increment("dirty_evictions")
+            victim = EvictedLine(
+                address=victim_address, data=victim_line.data, dirty=victim_line.dirty
+            )
+        lines[tag] = CacheLine(data=data, dirty=dirty, is_pte=is_pte)
+        self.stats.increment("fills")
+        return victim
+
+    def write_hit(self, address: int, data: bytes) -> bool:
+        """Update a resident line in place; returns False on miss."""
+        set_index, tag = self._index(address)
+        lines = self._sets.get(set_index)
+        if lines is None or tag not in lines:
+            return False
+        lines[tag] = CacheLine(data=data, dirty=True, is_pte=lines[tag].is_pte)
+        lines.move_to_end(tag)
+        return True
+
+    def invalidate(self, address: int) -> Optional[EvictedLine]:
+        """Drop a line (returns it if it was dirty, for write-back)."""
+        set_index, tag = self._index(address)
+        lines = self._sets.get(set_index)
+        if lines is None or tag not in lines:
+            return None
+        line = lines.pop(tag)
+        if line.dirty:
+            return EvictedLine(address=address, data=line.data, dirty=True)
+        return None
+
+    def flush_all(self) -> list[EvictedLine]:
+        """Empty the cache, returning every dirty line for write-back."""
+        dirty: list[EvictedLine] = []
+        for set_index, lines in self._sets.items():
+            for tag, line in lines.items():
+                if line.dirty:
+                    dirty.append(
+                        EvictedLine(
+                            address=self._compose(set_index, tag),
+                            data=line.data,
+                            dirty=True,
+                        )
+                    )
+        self._sets.clear()
+        return dirty
+
+    def _compose(self, set_index: int, tag: int) -> int:
+        return ((tag << self._set_bits) | set_index) << self._offset_bits
+
+    @property
+    def resident_lines(self) -> int:
+        return sum(len(lines) for lines in self._sets.values())
+
+    def contains(self, address: int) -> bool:
+        """Stat-free probe (for tests and invariant checks)."""
+        set_index, tag = self._index(address)
+        lines = self._sets.get(set_index)
+        return lines is not None and tag in lines

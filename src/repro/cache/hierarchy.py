@@ -1,0 +1,303 @@
+"""Three-level cache hierarchy in front of the memory controller.
+
+Models the paper's Table III memory system: L1 (split I/D in spirit; the
+simulator routes data and walker traffic through L1D), a private L2 and a
+last-level L3. Non-inclusive: a miss at level N probes level N+1; fills
+propagate back up; dirty victims are written back to the next level down
+and ultimately through the memory controller — where PT-Guard's write
+pattern-match runs.
+
+The ``is_pte`` tag travels with requests (the isPTE request-bus bit of
+Figure 5) so DRAM reads triggered by page-table walks are MAC-checked.
+The hierarchy surfaces ``pte_check_failed`` from the controller — caches
+refuse to install a line that failed its integrity check (Sec IV-F:
+"the caches do not install the line").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.common.config import CACHELINE_BYTES, SystemConfig
+from repro.common.stats import StatGroup
+from repro.cache.cache import Cache, EvictedLine
+from repro.mem.controller import MemoryController, MemoryRequest
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of one hierarchy access."""
+
+    data: bytes
+    latency_cycles: int
+    hit_level: str  # "L1", "L2", "L3" or "DRAM"
+    pte_check_failed: bool = False
+
+
+class SharedLLCAdapter:
+    """A shared last-level cache presented through the controller API.
+
+    Multi-core systems give each core a private L1/L2
+    :class:`CacheHierarchy` whose "controller" is this adapter: reads
+    probe the shared LLC first and only misses reach the real memory
+    controller (and PT-Guard); write-backs land in the LLC and spill to
+    DRAM on eviction.
+    """
+
+    def __init__(self, llc: Cache, controller: MemoryController, hit_latency: int):
+        self.llc = llc
+        self.controller = controller
+        self.hit_latency = hit_latency
+        self.stats = StatGroup("shared_llc")
+        self.ptguard = controller.ptguard
+        self.dram = controller.dram
+
+    def discard(self, address: int) -> None:
+        """Coherence invalidation for the shared LLC (no write-back)."""
+        self.llc.invalidate(address)
+
+    def access(self, request: MemoryRequest):
+        from repro.mem.controller import MemoryResponse
+
+        if request.is_write:
+            self.stats.increment("writes")
+            victim = self.llc.fill(request.address, request.data, dirty=True)
+            if victim is not None and victim.dirty:
+                self.controller.access(
+                    MemoryRequest(
+                        address=victim.address,
+                        is_write=True,
+                        data=victim.data,
+                        cycle=request.cycle,
+                        origin=self,
+                    )
+                )
+            return MemoryResponse(data=None, latency_cycles=self.hit_latency)
+        self.stats.increment("pte_reads" if request.is_pte else "reads")
+        line = self.llc.lookup(request.address)
+        if line is not None:
+            return MemoryResponse(data=line.data, latency_cycles=self.hit_latency)
+        response = self.controller.access(request)
+        if response.data is not None and not response.pte_check_failed:
+            victim = self.llc.fill(request.address, response.data, is_pte=request.is_pte)
+            if victim is not None and victim.dirty:
+                self.controller.access(
+                    MemoryRequest(
+                        address=victim.address,
+                        is_write=True,
+                        data=victim.data,
+                        cycle=request.cycle,
+                        origin=self,
+                    )
+                )
+        return MemoryResponse(
+            data=response.data,
+            latency_cycles=self.hit_latency + response.latency_cycles,
+            pte_check_failed=response.pte_check_failed,
+            corrected=response.corrected,
+            rekey_required=response.rekey_required,
+            guard_outcome=response.guard_outcome,
+        )
+
+
+class CacheHierarchy:
+    """L1D + L2 (+ L3) over a :class:`MemoryController`-compatible backend.
+
+    By default builds the full three-level Table III hierarchy. Pass
+    ``private_levels_only=True`` to build just L1/L2 (each core's private
+    slice) over a :class:`SharedLLCAdapter`.
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        controller,
+        private_levels_only: bool = False,
+    ):
+        self.config = config
+        self.controller = controller
+        self.l1 = Cache(config.l1d)
+        self.l2 = Cache(config.l2)
+        if private_levels_only:
+            self.l3 = None
+            self._levels = [self.l1, self.l2]
+            self._latencies = [config.l1d.hit_latency, config.l2.hit_latency]
+            self._names = ["L1", "L2"]
+        else:
+            self.l3 = Cache(config.l3)
+            self._levels = [self.l1, self.l2, self.l3]
+            self._latencies = [
+                config.l1d.hit_latency,
+                config.l2.hit_latency,
+                config.l3.hit_latency,
+            ]
+            self._names = ["L1", "L2", "L3"]
+        self.stats = StatGroup("hierarchy")
+        self.cycle = 0  # advanced by the owning core model
+
+    # -- main access path -----------------------------------------------------
+
+    def read(self, address: int, is_pte: bool = False) -> AccessResult:
+        """Read one line; returns data, latency and where it hit."""
+        address = self._align(address)
+        self.stats.increment("reads")
+        latency = 0
+        for index, cache in enumerate(self._levels):
+            latency += self._latencies[index]
+            line = cache.lookup(address)
+            if line is not None:
+                self._fill_upper(index, address, line.data, is_pte)
+                return AccessResult(
+                    data=line.data, latency_cycles=latency, hit_level=self._names[index]
+                )
+        # LLC miss: go to DRAM through the controller (and PT-Guard).
+        self.stats.increment("llc_misses")
+        response = self.controller.access(
+            MemoryRequest(address=address, is_write=False, is_pte=is_pte, cycle=self.cycle)
+        )
+        latency += response.latency_cycles
+        data = response.data if response.data is not None else bytes(CACHELINE_BYTES)
+        if response.pte_check_failed:
+            # Sec IV-F: the line is not installed; the failure propagates.
+            return AccessResult(
+                data=data,
+                latency_cycles=latency,
+                hit_level="DRAM",
+                pte_check_failed=True,
+            )
+        self._fill_all(address, data, is_pte)
+        return AccessResult(data=data, latency_cycles=latency, hit_level="DRAM")
+
+    def write(self, address: int, data: bytes) -> AccessResult:
+        """Write one full line (write-back, write-allocate)."""
+        address = self._align(address)
+        if len(data) != CACHELINE_BYTES:
+            raise ValueError("hierarchy writes are full-line")
+        self.stats.increment("writes")
+        latency = self._latencies[0]
+        if self.l1.write_hit(address, data):
+            return AccessResult(data=data, latency_cycles=latency, hit_level="L1")
+        # Write-allocate: fetch the line (ignoring its old data), then dirty it.
+        result = self.read(address)
+        victim = self.l1.fill(address, data, dirty=True)
+        self._handle_victim(victim, level=0)
+        return AccessResult(
+            data=data,
+            latency_cycles=latency + result.latency_cycles,
+            hit_level=result.hit_level,
+        )
+
+    def write_partial(self, address: int, offset: int, payload: bytes) -> AccessResult:
+        """Read-modify-write a fragment of a line (OS stores, PTE updates)."""
+        address = self._align(address)
+        if offset + len(payload) > CACHELINE_BYTES:
+            raise ValueError("partial write crosses the line boundary")
+        result = self.read(address)
+        line = bytearray(result.data)
+        line[offset : offset + len(payload)] = payload
+        write_result = self.write(address, bytes(line))
+        return AccessResult(
+            data=bytes(line),
+            latency_cycles=result.latency_cycles + write_result.latency_cycles,
+            hit_level=result.hit_level,
+        )
+
+    # -- fills, evictions, write-backs ----------------------------------------
+
+    def _fill_upper(self, hit_index: int, address: int, data: bytes, is_pte: bool) -> None:
+        """Propagate a line into the levels above the one that hit."""
+        for index in range(hit_index - 1, -1, -1):
+            victim = self._levels[index].fill(address, data, is_pte=is_pte)
+            self._handle_victim(victim, level=index)
+
+    def _fill_all(self, address: int, data: bytes, is_pte: bool) -> None:
+        for index in range(len(self._levels) - 1, -1, -1):
+            victim = self._levels[index].fill(address, data, is_pte=is_pte)
+            self._handle_victim(victim, level=index)
+
+    def _handle_victim(self, victim: Optional[EvictedLine], level: int) -> None:
+        """Push a dirty victim one level down (or to DRAM from the LLC)."""
+        if victim is None or not victim.dirty:
+            return
+        if level + 1 < len(self._levels):
+            lower_victim = self._levels[level + 1].fill(
+                victim.address, victim.data, dirty=True
+            )
+            self._handle_victim(lower_victim, level=level + 1)
+        else:
+            self.stats.increment("writebacks")
+            self.controller.access(
+                MemoryRequest(
+                    address=victim.address,
+                    is_write=True,
+                    data=victim.data,
+                    cycle=self.cycle,
+                    origin=self,
+                )
+            )
+
+    # -- maintenance ---------------------------------------------------------------
+
+    def flush(self) -> None:
+        """Write back and drop every line (used between experiment phases)."""
+        for index, cache in enumerate(self._levels):
+            for victim in cache.flush_all():
+                if index + 1 < len(self._levels):
+                    lower_victim = self._levels[index + 1].fill(
+                        victim.address, victim.data, dirty=True
+                    )
+                    self._handle_victim(lower_victim, level=index + 1)
+                else:
+                    self.controller.access(
+                        MemoryRequest(
+                            address=victim.address,
+                            is_write=True,
+                            data=victim.data,
+                            cycle=self.cycle,
+                            origin=self,
+                        )
+                    )
+
+    def invalidate(self, address: int) -> None:
+        """clflush-style: write back then drop one line from all levels."""
+        address = self._align(address)
+        for index, cache in enumerate(self._levels):
+            victim = cache.invalidate(address)
+            if victim is not None:
+                if index + 1 < len(self._levels):
+                    lower_victim = self._levels[index + 1].fill(
+                        victim.address, victim.data, dirty=True
+                    )
+                    self._handle_victim(lower_victim, level=index + 1)
+                else:
+                    self.controller.access(
+                        MemoryRequest(
+                            address=victim.address,
+                            is_write=True,
+                            data=victim.data,
+                            cycle=self.cycle,
+                            origin=self,
+                        )
+                    )
+
+    def discard(self, address: int) -> None:
+        """Coherence invalidation: drop a line without write-back.
+
+        Called when another agent (the kernel's store path, another core's
+        write-back) updates DRAM behind this hierarchy's back — modelling
+        what hardware coherence would have done with the stale copy.
+        """
+        address = self._align(address)
+        for cache in self._levels:
+            cache.invalidate(address)
+
+    @staticmethod
+    def _align(address: int) -> int:
+        return address & ~(CACHELINE_BYTES - 1)
+
+    # -- metrics -----------------------------------------------------------------
+
+    @property
+    def llc_misses(self) -> int:
+        return self.stats.get("llc_misses")

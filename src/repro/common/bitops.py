@@ -1,0 +1,111 @@
+"""Bit-manipulation helpers used throughout the simulator.
+
+All routines operate on arbitrary-precision Python integers interpreted as
+fixed-width little-endian bit vectors (bit 0 is the least-significant bit),
+matching how the x86_64 and ARMv8 manuals number PTE bits.
+"""
+
+from __future__ import annotations
+
+
+def mask(width: int) -> int:
+    """Return an integer with the ``width`` lowest bits set.
+
+    >>> hex(mask(12))
+    '0xfff'
+    """
+    if width < 0:
+        raise ValueError(f"mask width must be non-negative, got {width}")
+    return (1 << width) - 1
+
+
+def bit(value: int, position: int) -> int:
+    """Return bit ``position`` of ``value`` (0 or 1)."""
+    return (value >> position) & 1
+
+
+def bits(value: int, high: int, low: int) -> int:
+    """Return the inclusive bit-field ``value[high:low]``.
+
+    Follows the hardware-manual convention where both bounds are inclusive
+    and ``high >= low``: ``bits(0xABCD, 15, 12) == 0xA``.
+    """
+    if high < low:
+        raise ValueError(f"invalid bit range [{high}:{low}]")
+    return (value >> low) & mask(high - low + 1)
+
+
+def extract_bits(value: int, high: int, low: int) -> int:
+    """Alias of :func:`bits`, kept for call-site readability."""
+    return bits(value, high, low)
+
+
+def insert_bits(value: int, high: int, low: int, field: int) -> int:
+    """Return ``value`` with the inclusive field ``[high:low]`` set to ``field``.
+
+    Bits of ``field`` above the field width are rejected, which catches
+    accidental truncation at the call site.
+    """
+    width = high - low + 1
+    if high < low:
+        raise ValueError(f"invalid bit range [{high}:{low}]")
+    if field >> width:
+        raise ValueError(
+            f"field {field:#x} does not fit in [{high}:{low}] ({width} bits)"
+        )
+    cleared = value & ~(mask(width) << low)
+    return cleared | (field << low)
+
+
+def clear_bits(value: int, high: int, low: int) -> int:
+    """Return ``value`` with the inclusive field ``[high:low]`` zeroed."""
+    return insert_bits(value, high, low, 0)
+
+
+def popcount(value: int) -> int:
+    """Return the number of set bits in ``value``."""
+    return value.bit_count()
+
+
+def hamming_distance(a: int, b: int) -> int:
+    """Return the Hamming distance between two integers."""
+    return (a ^ b).bit_count()
+
+
+def bytes_to_int(data: bytes) -> int:
+    """Interpret ``data`` as a little-endian unsigned integer."""
+    return int.from_bytes(data, "little")
+
+
+def int_to_bytes(value: int, length: int) -> bytes:
+    """Encode ``value`` as ``length`` little-endian bytes."""
+    return value.to_bytes(length, "little")
+
+
+def rotl(value: int, amount: int, width: int) -> int:
+    """Rotate ``value`` left by ``amount`` within ``width`` bits."""
+    amount %= width
+    value &= mask(width)
+    return ((value << amount) | (value >> (width - amount))) & mask(width)
+
+
+def rotr(value: int, amount: int, width: int) -> int:
+    """Rotate ``value`` right by ``amount`` within ``width`` bits."""
+    return rotl(value, width - (amount % width), width)
+
+
+def flip_bit(value: int, position: int) -> int:
+    """Return ``value`` with bit ``position`` inverted."""
+    return value ^ (1 << position)
+
+
+def is_pow2(value: int) -> bool:
+    """Return True when ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def log2_exact(value: int) -> int:
+    """Return log2 of ``value``, requiring it to be a power of two."""
+    if not is_pow2(value):
+        raise ValueError(f"{value} is not a power of two")
+    return value.bit_length() - 1

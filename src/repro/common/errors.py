@@ -1,0 +1,59 @@
+"""Exception hierarchy for the PT-Guard reproduction.
+
+Every error raised by the library derives from :class:`PTGuardError` so
+applications can catch library failures with a single ``except`` clause
+while still distinguishing specific conditions.
+"""
+
+from __future__ import annotations
+
+
+class PTGuardError(Exception):
+    """Base class for all library errors."""
+
+
+class ConfigurationError(PTGuardError):
+    """A configuration value is invalid or inconsistent."""
+
+
+class AllocationError(PTGuardError):
+    """The physical-page allocator could not satisfy a request."""
+
+
+class TranslationError(PTGuardError):
+    """A virtual address could not be translated (no mapping)."""
+
+
+class PageFaultError(TranslationError):
+    """A page-table walk terminated at a non-present entry."""
+
+    def __init__(self, virtual_address: int, level: int, message: str = ""):
+        self.virtual_address = virtual_address
+        self.level = level
+        detail = message or f"page fault at VA {virtual_address:#x} (level {level})"
+        super().__init__(detail)
+
+
+class IntegrityError(PTGuardError):
+    """A MAC check failed on a page-table walk (``PTECheckFailed``).
+
+    Models the exception the memory controller raises to the OS when a
+    tampered PTE cacheline is detected (paper Section IV-F).
+    """
+
+    def __init__(self, line_address: int, message: str = ""):
+        self.line_address = line_address
+        detail = message or f"PTE integrity failure at line {line_address:#x}"
+        super().__init__(detail)
+
+
+class CollisionBufferOverflow(PTGuardError):
+    """The 4-entry Collision Tracking Buffer filled up (Section VII-B).
+
+    The paper's remedy is full-memory re-keying; the simulator raises this
+    to let the embedding system trigger :meth:`PTGuard.rekey`.
+    """
+
+
+class SimulationError(PTGuardError):
+    """The simulator reached an internally inconsistent state."""

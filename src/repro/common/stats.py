@@ -1,0 +1,76 @@
+"""Lightweight statistics counters for simulator components.
+
+Each component owns a :class:`StatGroup`; counters are created lazily and
+render to plain dictionaries for reporting, so benchmark harnesses can diff
+baseline and protected runs without knowing component internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+
+@dataclass
+class StatCounter:
+    """A named monotonic counter."""
+
+    name: str
+    value: int = 0
+
+    def increment(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"StatCounter({self.name}={self.value})"
+
+
+@dataclass
+class StatGroup:
+    """A named collection of counters, created on first access."""
+
+    name: str
+    _counters: Dict[str, StatCounter] = field(default_factory=dict)
+
+    def counter(self, name: str) -> StatCounter:
+        """Return the counter ``name``, creating it at zero if needed."""
+        if name not in self._counters:
+            self._counters[name] = StatCounter(name)
+        return self._counters[name]
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        self.counter(name).increment(amount)
+
+    def get(self, name: str) -> int:
+        return self._counters[name].value if name in self._counters else 0
+
+    def reset(self) -> None:
+        for counter in self._counters.values():
+            counter.reset()
+
+    def as_dict(self) -> Dict[str, int]:
+        """Snapshot all counters as a plain dict (sorted for stable output)."""
+        return {name: self._counters[name].value for name in sorted(self._counters)}
+
+    def __iter__(self) -> Iterator[StatCounter]:
+        return iter(self._counters.values())
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v.value}" for k, v in sorted(self._counters.items()))
+        return f"StatGroup({self.name}: {inner})"
+
+
+def ratio(numerator: int, denominator: int) -> float:
+    """Safe ratio helper: returns 0.0 when the denominator is zero."""
+    return numerator / denominator if denominator else 0.0
+
+
+def per_kilo(numerator: int, denominator: int) -> float:
+    """Events per thousand units (e.g. misses per kilo-instruction)."""
+    return 1000.0 * ratio(numerator, denominator)

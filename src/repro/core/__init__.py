@@ -1,0 +1,24 @@
+"""PT-Guard core: the paper's primary contribution.
+
+Pattern matching, MAC embedding/verification, collision tracking,
+best-effort correction, and the analytical security model.
+"""
+
+from repro.core.correction import CorrectionEngine, CorrectionResult
+from repro.core.ctb import CollisionTrackingBuffer
+from repro.core.engine import MACEngine, VerifyResult
+from repro.core.guard import PTGuard, ReadOutcome, WriteOutcome
+from repro.core import pattern, security
+
+__all__ = [
+    "CorrectionEngine",
+    "CorrectionResult",
+    "CollisionTrackingBuffer",
+    "MACEngine",
+    "VerifyResult",
+    "PTGuard",
+    "ReadOutcome",
+    "WriteOutcome",
+    "pattern",
+    "security",
+]

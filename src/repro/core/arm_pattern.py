@@ -1,0 +1,147 @@
+"""ARMv8 PTE-cacheline layout for PT-Guard (paper Sec IV-F: "the
+principles apply to ARMv8 or any other ISA").
+
+ARMv8 stage-1 descriptors provision a 40-bit PFN split across bits 49:12
+(PFN[37:0]) and bits 9:8 (PFN[39:38]) — see paper Table II. On a client
+system bounded at 1 TB (28-bit PFN), the unused PFN capacity is:
+
+* bits 49:40 — the upper 10 bits of PFN[37:0];
+* bits 9:8   — PFN[39:38], only meaningful beyond 1 TB.
+
+That is 12 unused bits per PTE, exactly as on x86_64, pooling to the same
+96-bit per-line MAC. The identifier extension uses the OS-ignored bits
+58:55 plus the reserved bits 50 and 63 (6 bits per PTE, a 48-bit
+identifier — slightly narrower than x86_64's 56 bits, still far beyond
+accidental-match range).
+
+The functions mirror :mod:`repro.core.pattern`; both variants are tested
+against the same round-trip properties.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.common.bitops import mask
+from repro.common.config import CACHELINE_BYTES, PTES_PER_LINE
+
+# MAC carrier: bits 49:40 (10 bits) + bits 9:8 (2 bits) per PTE.
+_MAC_HIGH_FIELD_LOW, _MAC_HIGH_BITS = 40, 10
+_MAC_LOW_FIELD_LOW, _MAC_LOW_BITS = 8, 2
+MAC_BITS_PER_PTE = _MAC_HIGH_BITS + _MAC_LOW_BITS  # 12
+MAC_BITS_PER_LINE = MAC_BITS_PER_PTE * PTES_PER_LINE  # 96
+
+# Identifier carrier: ignored bits 58:55, reserved bits 50 and 63.
+_ID_SEGMENTS = ((55, 4), (50, 1), (63, 1))  # (low_bit, width)
+ID_BITS_PER_PTE = sum(width for _, width in _ID_SEGMENTS)  # 6
+ID_BITS_PER_LINE = ID_BITS_PER_PTE * PTES_PER_LINE  # 48
+
+ACCESSED_BIT = 10  # ARM's access flag, hardware-managed like x86's bit 5
+
+
+def _spread(field_mask: int) -> int:
+    value = 0
+    for index in range(PTES_PER_LINE):
+        value |= field_mask << (64 * index)
+    return value
+
+
+_MAC_PTE_MASK = (mask(_MAC_HIGH_BITS) << _MAC_HIGH_FIELD_LOW) | (
+    mask(_MAC_LOW_BITS) << _MAC_LOW_FIELD_LOW
+)
+_ID_PTE_MASK = 0
+for _low, _width in _ID_SEGMENTS:
+    _ID_PTE_MASK |= mask(_width) << _low
+
+MAC_FIELDS_LINE_MASK = _spread(_MAC_PTE_MASK)
+ID_FIELDS_LINE_MASK = _spread(_ID_PTE_MASK)
+
+
+def protected_bits_mask(max_phys_bits: int = 40) -> int:
+    """MAC coverage for an ARMv8 PTE at 1 TB: valid/attr/AP flags, PFN
+    bits 39:12, dirty/contiguous/XN/hardware-attribute metadata — the
+    accessed flag (bit 10) and the metadata carriers excluded."""
+    value = mask(64)
+    value &= ~_MAC_PTE_MASK
+    value &= ~_ID_PTE_MASK
+    value &= ~(1 << ACCESSED_BIT)
+    return value
+
+
+_PROTECTED_LINE_MASK = _spread(protected_bits_mask())
+
+
+def matches_pattern(line: bytes, extended: bool = False) -> bool:
+    """ARMv8 bit-pattern match: unused PFN bits (and, extended, the
+    ignored/reserved bits) must be zero."""
+    value = int.from_bytes(line, "little")
+    fields = MAC_FIELDS_LINE_MASK | (ID_FIELDS_LINE_MASK if extended else 0)
+    return value & fields == 0
+
+
+def mask_unprotected(line: bytes, max_phys_bits: int = 40) -> bytes:
+    value = int.from_bytes(line, "little") & _PROTECTED_LINE_MASK
+    return value.to_bytes(CACHELINE_BYTES, "little")
+
+
+def extract_mac(line: bytes) -> int:
+    value = int.from_bytes(line, "little")
+    tag = 0
+    for index in range(PTES_PER_LINE):
+        pte = (value >> (64 * index)) & mask(64)
+        chunk = (pte >> _MAC_HIGH_FIELD_LOW) & mask(_MAC_HIGH_BITS)
+        chunk |= ((pte >> _MAC_LOW_FIELD_LOW) & mask(_MAC_LOW_BITS)) << _MAC_HIGH_BITS
+        tag |= chunk << (MAC_BITS_PER_PTE * index)
+    return tag
+
+
+def embed_mac(line: bytes, tag: int) -> bytes:
+    if tag >> MAC_BITS_PER_LINE:
+        raise ValueError(f"MAC does not fit in {MAC_BITS_PER_LINE} bits")
+    value = int.from_bytes(line, "little") & ~MAC_FIELDS_LINE_MASK
+    for index in range(PTES_PER_LINE):
+        chunk = (tag >> (MAC_BITS_PER_PTE * index)) & mask(MAC_BITS_PER_PTE)
+        high = chunk & mask(_MAC_HIGH_BITS)
+        low = chunk >> _MAC_HIGH_BITS
+        value |= high << (64 * index + _MAC_HIGH_FIELD_LOW)
+        value |= low << (64 * index + _MAC_LOW_FIELD_LOW)
+    return value.to_bytes(CACHELINE_BYTES, "little")
+
+
+def strip_mac(line: bytes) -> bytes:
+    value = int.from_bytes(line, "little") & ~MAC_FIELDS_LINE_MASK
+    return value.to_bytes(CACHELINE_BYTES, "little")
+
+
+def extract_identifier(line: bytes) -> int:
+    value = int.from_bytes(line, "little")
+    identifier = 0
+    for index in range(PTES_PER_LINE):
+        pte = (value >> (64 * index)) & mask(64)
+        chunk = 0
+        offset = 0
+        for low, width in _ID_SEGMENTS:
+            chunk |= ((pte >> low) & mask(width)) << offset
+            offset += width
+        identifier |= chunk << (ID_BITS_PER_PTE * index)
+    return identifier
+
+
+def embed_identifier(line: bytes, identifier: int) -> bytes:
+    if identifier >> ID_BITS_PER_LINE:
+        raise ValueError(f"identifier does not fit in {ID_BITS_PER_LINE} bits")
+    value = int.from_bytes(line, "little") & ~ID_FIELDS_LINE_MASK
+    for index in range(PTES_PER_LINE):
+        chunk = (identifier >> (ID_BITS_PER_PTE * index)) & mask(ID_BITS_PER_PTE)
+        offset = 0
+        for low, width in _ID_SEGMENTS:
+            value |= ((chunk >> offset) & mask(width)) << (64 * index + low)
+            offset += width
+    return value.to_bytes(CACHELINE_BYTES, "little")
+
+
+def strip_metadata(line: bytes) -> bytes:
+    value = int.from_bytes(line, "little") & ~(
+        MAC_FIELDS_LINE_MASK | ID_FIELDS_LINE_MASK
+    )
+    return value.to_bytes(CACHELINE_BYTES, "little")

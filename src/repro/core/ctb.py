@@ -1,0 +1,77 @@
+"""Collision Tracking Buffer (paper Sections IV-D, IV-F, VII-B).
+
+A 4-entry SRAM buffer in the memory controller holding line addresses
+whose *data bits* happen to equal the MAC that would be computed over
+them. Reads of tracked lines are forwarded untouched, preserving
+correctness for the ~2^-96-probability natural collisions and for
+adversarially constructed ones.
+
+Each entry stores a 5-byte line address (40-bit physical line number),
+hence the paper's 20-byte budget.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.common.errors import CollisionBufferOverflow
+from repro.common.stats import StatGroup
+
+ENTRY_BYTES = 5  # a <=40-bit line address fits in 5 bytes
+
+
+class CollisionTrackingBuffer:
+    """Fixed-capacity set of colliding line addresses."""
+
+    def __init__(self, capacity: int = 4):
+        if capacity <= 0:
+            raise ValueError("CTB capacity must be positive")
+        self.capacity = capacity
+        self._entries: List[int] = []
+        self.stats = StatGroup("ctb")
+
+    def contains(self, line_address: int) -> bool:
+        """CTB lookup, performed on every DRAM read (associative search)."""
+        self.stats.increment("lookups")
+        hit = line_address in self._entries
+        if hit:
+            self.stats.increment("hits")
+        return hit
+
+    def insert(self, line_address: int) -> None:
+        """Track a newly detected colliding line.
+
+        Raises :class:`CollisionBufferOverflow` when full; the embedding
+        system is expected to respond by re-keying (Sec VII-B).
+        """
+        if line_address in self._entries:
+            return
+        if len(self._entries) >= self.capacity:
+            self.stats.increment("overflows")
+            raise CollisionBufferOverflow(
+                f"CTB full ({self.capacity} entries); re-keying required"
+            )
+        self._entries.append(line_address)
+        self.stats.increment("inserts")
+
+    def remove(self, line_address: int) -> None:
+        """Drop an entry once a non-colliding value was written to the line."""
+        if line_address in self._entries:
+            self._entries.remove(line_address)
+            self.stats.increment("removes")
+
+    def clear(self) -> None:
+        """Reset after a full-memory re-key."""
+        self._entries.clear()
+
+    @property
+    def entries(self) -> List[int]:
+        return list(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def sram_bytes(self) -> int:
+        """SRAM cost: 5 bytes per entry (20 bytes at the default capacity)."""
+        return self.capacity * ENTRY_BYTES

@@ -1,0 +1,70 @@
+"""MAC engine: computes and verifies the PTE-line MAC (paper Sec IV-F, VI-C).
+
+Wraps a :class:`repro.crypto.mac.LineMAC` with the PT-Guard specifics:
+
+* the MAC input is the line with unprotected bits masked out
+  (:func:`repro.core.pattern.mask_unprotected`), bound to the line address;
+* verification supports *soft matching* — accepting a stored MAC within
+  Hamming distance ``k`` of the computed one — which tolerates up to ``k``
+  bit-flips in the MAC itself (Section VI-C) at a quantified security cost
+  (Section VI-E, see :mod:`repro.core.security`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.bitops import hamming_distance
+from repro.crypto.mac import LineMAC
+from repro.core import pattern
+
+
+@dataclass(frozen=True)
+class VerifyResult:
+    """Outcome of a MAC verification."""
+
+    ok: bool
+    distance: int  # Hamming distance between stored and computed MAC
+    soft: bool  # True when the match needed the soft-match allowance
+
+
+class MACEngine:
+    """Computes/verifies PTE-line MACs for the memory controller."""
+
+    def __init__(self, line_mac: LineMAC, max_phys_bits: int, soft_match_k: int = 0):
+        self.line_mac = line_mac
+        self.max_phys_bits = max_phys_bits
+        self.soft_match_k = soft_match_k
+        self.computations = 0  # MAC-unit invocations (for energy accounting)
+
+    @property
+    def mac_bits(self) -> int:
+        return self.line_mac.mac_bits
+
+    def compute(self, line: bytes, address: int) -> int:
+        """MAC over the protected bits of ``line``, bound to ``address``."""
+        self.computations += 1
+        masked = pattern.mask_unprotected(line, self.max_phys_bits)
+        return self.line_mac.compute(masked, address)
+
+    def compute_zero_mac(self) -> int:
+        """The pre-computed MAC of an all-zero line *without* address binding.
+
+        Stored on-chip (12 bytes) by the MAC-zero optimisation (Sec V-B) so
+        zero cachelines never pay MAC-computation latency.
+        """
+        return self.line_mac.compute(bytes(64), 0)
+
+    def verify(self, line: bytes, address: int, stored_mac: int, soft: bool = False) -> VerifyResult:
+        """Check ``stored_mac`` against the MAC computed over ``line``.
+
+        With ``soft=True`` the check passes when the Hamming distance is at
+        most ``soft_match_k`` (fault-tolerant MAC, Sec VI-C).
+        """
+        computed = self.compute(line, address)
+        distance = hamming_distance(computed, stored_mac)
+        if distance == 0:
+            return VerifyResult(ok=True, distance=0, soft=False)
+        if soft and distance <= self.soft_match_k:
+            return VerifyResult(ok=True, distance=distance, soft=True)
+        return VerifyResult(ok=False, distance=distance, soft=False)

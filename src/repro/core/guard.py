@@ -1,0 +1,384 @@
+"""PT-Guard: the memory-controller-resident integrity mechanism (Sec IV-V).
+
+:class:`PTGuard` transforms lines crossing the DRAM boundary:
+
+* **Writes** (:meth:`process_write`): lines matching the bit pattern (96
+  zeroed PFN bits; 152 bits with the identifier extension) get the 96-bit
+  MAC embedded — all PTE lines and pattern-matching data lines. Lines
+  *not* matching are checked for MAC collisions and tracked in the CTB.
+* **Reads** (:meth:`process_read`): CTB hits are forwarded untouched. Page
+  -table-walk reads (``is_pte``) always verify the MAC; a mismatch either
+  enters best-effort correction (Sec VI) or raises the ``PTECheckFailed``
+  outcome the CPU turns into an OS exception. Regular reads strip the MAC
+  when it matches and are forwarded untouched otherwise. Optimized
+  PT-Guard skips MAC work entirely for reads whose identifier field does
+  not carry the identifier, and serves all-zero lines from the
+  pre-computed MAC-zero without a MAC-unit pass.
+
+Timing: the guard reports ``latency_cycles`` per operation (MAC-unit
+delay on the read critical path); the memory controller adds it to the
+DRAM latency. Write-side MAC work is off the critical path (write buffer)
+and contributes no latency, matching the paper's model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.common.config import PTGuardConfig
+from repro.common.errors import CollisionBufferOverflow
+from repro.common.stats import StatGroup
+from repro.core import pattern
+from repro.core.correction import CorrectionEngine, CorrectionResult
+from repro.core.ctb import CollisionTrackingBuffer
+from repro.core.engine import MACEngine
+from repro.crypto.mac import make_line_mac
+
+MAC_KEY_SRAM_BYTES = 32  # 256-bit QARMA key
+IDENTIFIER_SRAM_BYTES = 7  # 56-bit identifier
+MAC_ZERO_SRAM_BYTES = 12  # 96-bit pre-computed MAC-zero
+
+
+@dataclass(frozen=True)
+class WriteOutcome:
+    """Result of pushing one line through the guard on its way to DRAM."""
+
+    stored_line: bytes
+    embedded: bool  # MAC (and identifier) were embedded
+    collision: bool  # line tracked in the CTB
+    zero_line: bool  # MAC-zero fast path used
+
+
+@dataclass(frozen=True)
+class ReadOutcome:
+    """Result of pulling one line through the guard on its way from DRAM."""
+
+    line: bytes  # what is forwarded to the caches / TLB
+    latency_cycles: int  # MAC-unit delay on the critical path
+    mac_checked: bool
+    mac_matched: bool
+    stripped: bool
+    ctb_hit: bool
+    pte_check_failed: bool  # the PTECheckFailed response-bus bit
+    corrected: bool = False
+    correction: Optional[CorrectionResult] = None
+    corrected_stored_line: Optional[bytes] = None  # write back to DRAM if set
+
+
+class PTGuard:
+    """The PT-Guard mechanism, parameterised by :class:`PTGuardConfig`."""
+
+    def __init__(
+        self,
+        config: PTGuardConfig,
+        mac_algorithm: str = "blake2",
+        secret: Optional[bytes] = None,
+        seed: int = 2023,
+    ):
+        self.config = config
+        self.mac_algorithm = mac_algorithm
+        self._secret = secret if secret is not None else seed.to_bytes(16, "little")
+        self._epoch = 0
+        self.engine = MACEngine(
+            make_line_mac(mac_algorithm, self._secret, config.mac_bits, epoch=0),
+            max_phys_bits=config.max_phys_bits,
+            soft_match_k=config.soft_match_k,
+        )
+        self.ctb = CollisionTrackingBuffer(config.ctb_entries)
+        # The 56-bit identifier is a random value fixed at boot (Sec V-A).
+        import random
+
+        self.identifier = random.Random(seed).getrandbits(pattern.ID_BITS_PER_LINE)
+        self._mac_zero = self.engine.compute_zero_mac() if config.mac_zero_enabled else None
+        self.correction: Optional[CorrectionEngine] = None
+        if config.correction_enabled:
+            self.correction = CorrectionEngine(
+                self.engine,
+                almost_zero_threshold=config.almost_zero_threshold,
+                identifier=self.identifier if config.identifier_enabled else None,
+            )
+        self.stats = StatGroup("ptguard")
+
+    # -- write path ---------------------------------------------------------
+
+    def process_write(self, address: int, line: bytes) -> WriteOutcome:
+        """Transform a line leaving the memory controller for DRAM."""
+        self.stats.increment("writes")
+        extended = self.config.identifier_enabled
+
+        if pattern.matches_pattern(line, extended=extended):
+            stored, zero_line = self._embed(address, line)
+            self.stats.increment("embedded_writes")
+            if zero_line:
+                self.stats.increment("zero_line_writes")
+            # A protected line cannot collide; clear any stale CTB entry.
+            self.ctb.remove(address)
+            return WriteOutcome(
+                stored_line=stored, embedded=True, collision=False, zero_line=zero_line
+            )
+
+        collision = self._is_colliding(address, line)
+        if collision:
+            self.stats.increment("collisions")
+            self.ctb.insert(address)  # may raise CollisionBufferOverflow
+        else:
+            self.ctb.remove(address)
+        return WriteOutcome(
+            stored_line=line, embedded=False, collision=collision, zero_line=False
+        )
+
+    def _embed(self, address: int, line: bytes) -> tuple[bytes, bool]:
+        """Embed MAC (+identifier) into a pattern-matching line."""
+        zero_line = False
+        if (
+            self.config.mac_zero_enabled
+            and self._mac_zero is not None
+            and line == bytes(64)
+        ):
+            tag = self._mac_zero
+            zero_line = True
+        else:
+            tag = self.engine.compute(line, address)
+            self.stats.increment("mac_computations_write")
+        stored = pattern.embed_mac(line, self._fit_tag(tag))
+        if self.config.identifier_enabled:
+            stored = pattern.embed_identifier(stored, self.identifier)
+        return stored, zero_line
+
+    def _fit_tag(self, tag: int) -> int:
+        """Left-pad a narrower-than-96-bit MAC into the 96-bit field."""
+        if self.engine.mac_bits < pattern.MAC_BITS_PER_LINE:
+            return tag & ((1 << self.engine.mac_bits) - 1)
+        return tag
+
+    def _is_colliding(self, address: int, line: bytes) -> bool:
+        """Would this non-pattern line be misread as MAC-embedded?"""
+        if self.config.identifier_enabled:
+            # With the identifier, a read only strips when the identifier
+            # matches too; lines without it are never misinterpreted.
+            if pattern.extract_identifier(line) != self.identifier:
+                return False
+        stored_mac = pattern.extract_mac(line)
+        computed = self._fit_tag(self.engine.compute(line, address))
+        self.stats.increment("mac_computations_write")
+        return stored_mac == computed
+
+    # -- read path -------------------------------------------------------------
+
+    def process_read(self, address: int, stored_line: bytes, is_pte: bool) -> ReadOutcome:
+        """Transform a line arriving from DRAM before it reaches the caches."""
+        self.stats.increment("reads")
+        if is_pte:
+            self.stats.increment("pte_reads")
+            return self._read_pte(address, stored_line)
+        return self._read_data(address, stored_line)
+
+    def _read_pte(self, address: int, stored_line: bytes) -> ReadOutcome:
+        """Page-table-walk read: the MAC check is mandatory (Sec IV-C)."""
+        # Zero-line fast path: a never-written (all-zero) or MAC-zero line.
+        fast = self._zero_fast_path(stored_line)
+        if fast is not None:
+            return fast
+
+        stored_mac = pattern.extract_mac(stored_line)
+        result = self.engine.verify(stored_line, address, self._fit_tag_stored(stored_mac))
+        self.stats.increment("mac_computations_read")
+        latency = self.config.mac_latency_cycles
+        if result.ok:
+            return ReadOutcome(
+                line=self._strip(stored_line),
+                latency_cycles=latency,
+                mac_checked=True,
+                mac_matched=True,
+                stripped=True,
+                ctb_hit=False,
+                pte_check_failed=False,
+            )
+
+        self.stats.increment("pte_integrity_failures")
+        if self.correction is not None:
+            correction = self.correction.correct(stored_line, address)
+            if correction.corrected_line is not None:
+                self.stats.increment("pte_corrections")
+                return ReadOutcome(
+                    line=self._strip(correction.corrected_line),
+                    latency_cycles=latency,
+                    mac_checked=True,
+                    mac_matched=False,
+                    stripped=True,
+                    ctb_hit=False,
+                    pte_check_failed=False,
+                    corrected=True,
+                    correction=correction,
+                    corrected_stored_line=correction.corrected_line,
+                )
+            self.stats.increment("pte_uncorrectable")
+            return ReadOutcome(
+                line=stored_line,
+                latency_cycles=latency,
+                mac_checked=True,
+                mac_matched=False,
+                stripped=False,
+                ctb_hit=False,
+                pte_check_failed=True,
+                corrected=False,
+                correction=correction,
+            )
+        return ReadOutcome(
+            line=stored_line,
+            latency_cycles=latency,
+            mac_checked=True,
+            mac_matched=False,
+            stripped=False,
+            ctb_hit=False,
+            pte_check_failed=True,
+        )
+
+    def _read_data(self, address: int, stored_line: bytes) -> ReadOutcome:
+        """Regular data read: strip opportunistically, never fault."""
+        if self.ctb.contains(address):
+            self.stats.increment("ctb_forwards")
+            return ReadOutcome(
+                line=stored_line,
+                latency_cycles=0,
+                mac_checked=False,
+                mac_matched=False,
+                stripped=False,
+                ctb_hit=True,
+                pte_check_failed=False,
+            )
+
+        if self.config.identifier_enabled:
+            if pattern.extract_identifier(stored_line) != self.identifier:
+                # Identifier absent: no MAC was embedded; skip the MAC unit.
+                self.stats.increment("identifier_filtered")
+                return ReadOutcome(
+                    line=stored_line,
+                    latency_cycles=0,
+                    mac_checked=False,
+                    mac_matched=False,
+                    stripped=False,
+                    ctb_hit=False,
+                    pte_check_failed=False,
+                )
+            fast = self._zero_fast_path(stored_line)
+            if fast is not None:
+                return fast
+
+        stored_mac = pattern.extract_mac(stored_line)
+        result = self.engine.verify(stored_line, address, self._fit_tag_stored(stored_mac))
+        self.stats.increment("mac_computations_read")
+        latency = self.config.mac_latency_cycles
+        if result.ok:
+            return ReadOutcome(
+                line=self._strip(stored_line),
+                latency_cycles=latency,
+                mac_checked=True,
+                mac_matched=True,
+                stripped=True,
+                ctb_hit=False,
+                pte_check_failed=False,
+            )
+        # Mismatch on a data read: either an unprotected line or a flipped
+        # protected one — forwarded unchanged, no new failure mode (Sec IV-E).
+        return ReadOutcome(
+            line=stored_line,
+            latency_cycles=latency,
+            mac_checked=True,
+            mac_matched=False,
+            stripped=False,
+            ctb_hit=False,
+            pte_check_failed=False,
+        )
+
+    def _zero_fast_path(self, stored_line: bytes) -> Optional[ReadOutcome]:
+        """MAC-zero optimisation (Sec V-B): serve zero lines without the MAC unit."""
+        if not self.config.mac_zero_enabled or self._mac_zero is None:
+            return None
+        if stored_line == bytes(64):
+            # Never written through the guard; nothing to strip.
+            self.stats.increment("zero_line_fastpath")
+            return ReadOutcome(
+                line=stored_line,
+                latency_cycles=0,
+                mac_checked=False,
+                mac_matched=True,
+                stripped=False,
+                ctb_hit=False,
+                pte_check_failed=False,
+            )
+        if (
+            pattern.is_zero_data(stored_line)
+            and pattern.extract_mac(stored_line) == self._fit_tag(self._mac_zero)
+            and (
+                not self.config.identifier_enabled
+                or pattern.extract_identifier(stored_line) == self.identifier
+            )
+        ):
+            self.stats.increment("zero_line_fastpath")
+            return ReadOutcome(
+                line=self._strip(stored_line),
+                latency_cycles=0,
+                mac_checked=False,
+                mac_matched=True,
+                stripped=True,
+                ctb_hit=False,
+                pte_check_failed=False,
+            )
+        return None
+
+    def _fit_tag_stored(self, stored_mac: int) -> int:
+        if self.engine.mac_bits < pattern.MAC_BITS_PER_LINE:
+            return stored_mac & ((1 << self.engine.mac_bits) - 1)
+        return stored_mac
+
+    def _strip(self, stored_line: bytes) -> bytes:
+        if self.config.identifier_enabled:
+            return pattern.strip_metadata(stored_line)
+        return pattern.strip_mac(stored_line)
+
+    # -- re-keying (Sec VII-B) -------------------------------------------------
+
+    def rekey(self) -> None:
+        """Rotate to a fresh MAC key epoch and clear the CTB.
+
+        The system embedding the guard is responsible for walking memory
+        (read-under-old-key, write-under-new-key) around this call; see
+        :meth:`repro.harness.system.System.rekey_memory`.
+        """
+        self._epoch += 1
+        self.stats.increment("rekeys")
+        self.engine = MACEngine(
+            make_line_mac(
+                self.mac_algorithm, self._secret, self.config.mac_bits, epoch=self._epoch
+            ),
+            max_phys_bits=self.config.max_phys_bits,
+            soft_match_k=self.config.soft_match_k,
+        )
+        self._mac_zero = (
+            self.engine.compute_zero_mac() if self.config.mac_zero_enabled else None
+        )
+        if self.correction is not None:
+            self.correction = CorrectionEngine(
+                self.engine,
+                almost_zero_threshold=self.config.almost_zero_threshold,
+                identifier=self.identifier if self.config.identifier_enabled else None,
+            )
+        self.ctb.clear()
+
+    @property
+    def epoch(self) -> int:
+        return self._epoch
+
+    # -- cost accounting (Sec V-E) ------------------------------------------------
+
+    @property
+    def sram_bytes(self) -> int:
+        """Total SRAM in the memory controller: 52 B baseline, 71 B optimized."""
+        total = MAC_KEY_SRAM_BYTES + self.ctb.sram_bytes
+        if self.config.identifier_enabled:
+            total += IDENTIFIER_SRAM_BYTES
+        if self.config.mac_zero_enabled:
+            total += MAC_ZERO_SRAM_BYTES
+        return total

@@ -1,0 +1,37 @@
+"""CPU substrate: in-order core timing, trace generation, workloads,
+and the 4-core model."""
+
+from repro.cpu.core import CoreResult, InOrderCore
+from repro.cpu.multicore import (
+    MulticoreResult,
+    MulticoreSimulator,
+    make_random_mix,
+    make_same_mix,
+    multicore_slowdown,
+)
+from repro.cpu.trace import TraceGenerator, TraceRecord, TraceRegions
+from repro.cpu.workloads import (
+    MEMORY_INTENSIVE,
+    WORKLOADS,
+    WORKLOADS_BY_NAME,
+    WorkloadProfile,
+    get_workload,
+)
+
+__all__ = [
+    "CoreResult",
+    "InOrderCore",
+    "MulticoreResult",
+    "MulticoreSimulator",
+    "make_random_mix",
+    "make_same_mix",
+    "multicore_slowdown",
+    "TraceGenerator",
+    "TraceRecord",
+    "TraceRegions",
+    "MEMORY_INTENSIVE",
+    "WORKLOADS",
+    "WORKLOADS_BY_NAME",
+    "WorkloadProfile",
+    "get_workload",
+]

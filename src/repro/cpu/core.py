@@ -1,0 +1,175 @@
+"""In-order core timing model (paper Table III: 1 IPC peak, 3 GHz).
+
+The core consumes a :class:`~repro.cpu.trace.TraceGenerator` stream.
+Non-memory instructions retire one per cycle; each memory operation first
+translates through the TLB/walker (page-table walks go through the cache
+hierarchy with the ``isPTE`` bit and may reach DRAM, where PT-Guard adds
+MAC latency), then performs the data access. L1 hits are considered
+pipelined (no stall); deeper hits and DRAM accesses stall the core for
+their full latency — the blocking in-order model whose slowdowns the
+paper itself calls pessimistic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.common.config import CACHELINE_BYTES, PAGE_BYTES, SystemConfig
+from repro.common.errors import PageFaultError
+from repro.common.stats import StatGroup, per_kilo
+from repro.cache.hierarchy import CacheHierarchy
+from repro.cpu.trace import TraceGenerator, region_pages
+from repro.mmu.walker import PageWalker
+from repro.os.kernel import Kernel
+from repro.os.process import Process
+
+
+@dataclass(frozen=True)
+class CoreResult:
+    """Timing outcome of one simulation window."""
+
+    instructions: int
+    cycles: int
+    mem_ops: int
+    llc_misses: int
+    dram_reads: int
+    dram_writes: int
+    tlb_misses: int
+    walks: int
+    walk_dram_reads: int
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def llc_mpki(self) -> float:
+        return per_kilo(self.llc_misses, self.instructions)
+
+
+def _store_payload(address: int) -> bytes:
+    """Synthetic store data: address-derived, never pattern-matching.
+
+    Bits 51:40 (the MAC field) are forced non-zero so regular data writes
+    do not opportunistically receive MACs — mirroring real pointer-free
+    data, and keeping the protected-line population realistic.
+    """
+    word = (address | 0x00FF_1000_0000_0000) & (1 << 64) - 1
+    return word.to_bytes(8, "little") * (CACHELINE_BYTES // 8)
+
+
+class InOrderCore:
+    """One hardware thread over its own L1/L2 (hierarchy) and walker."""
+
+    def __init__(
+        self,
+        hierarchy: CacheHierarchy,
+        walker: PageWalker,
+        kernel: Kernel,
+        process: Process,
+        l1_hit_latency: Optional[int] = None,
+    ):
+        self.hierarchy = hierarchy
+        self.walker = walker
+        self.kernel = kernel
+        self.process = process
+        self.l1_hit_latency = (
+            l1_hit_latency
+            if l1_hit_latency is not None
+            else hierarchy.config.l1d.hit_latency
+        )
+        self.cycles = 0
+        self.instructions = 0
+        self.mem_ops = 0
+        self.stats = StatGroup("core")
+
+    # -- execution ---------------------------------------------------------------
+
+    def prefault(self, trace: TraceGenerator) -> int:
+        """Map every page the trace may touch (models the fast-forward
+        phase of the paper's methodology). Returns pages mapped."""
+        count = 0
+        for page_va in region_pages(trace.regions):
+            self.kernel.handle_page_fault(self.process, page_va)
+            count += 1
+        return count
+
+    def run(self, trace: TraceGenerator, mem_ops: int, warmup_ops: int = 0) -> CoreResult:
+        """Execute ``warmup_ops`` untimed then ``mem_ops`` timed accesses."""
+        for _ in range(warmup_ops):
+            record = trace.next_record()
+            self._execute(record.virtual_address, record.is_write)
+
+        start_cycles, start_instructions = self._reset_window()
+        for _ in range(mem_ops):
+            record = trace.next_record()
+            self.instructions += record.instructions + 1  # +1 for the mem op
+            self.cycles += record.instructions
+            self._execute(record.virtual_address, record.is_write, timed=True)
+            self.mem_ops += 1
+        return self._result(start_cycles, start_instructions)
+
+    def _reset_window(self) -> tuple[int, int]:
+        self._window_stats = {
+            "llc_misses": self.hierarchy.stats.get("llc_misses"),
+            "dram_reads": self._dram_reads(),
+            "dram_writes": self.hierarchy.controller.stats.get("writes"),
+            "tlb_misses": self.walker.tlb.stats.get("misses"),
+            "walks": self.walker.stats.get("walks"),
+            "walk_dram": self.hierarchy.controller.stats.get("pte_reads"),
+        }
+        self.mem_ops = 0
+        return self.cycles, self.instructions
+
+    def _dram_reads(self) -> int:
+        stats = self.hierarchy.controller.stats
+        return stats.get("reads") + stats.get("pte_reads")
+
+    def _result(self, start_cycles: int, start_instructions: int) -> CoreResult:
+        window = self._window_stats
+        return CoreResult(
+            instructions=self.instructions - start_instructions,
+            cycles=self.cycles - start_cycles,
+            mem_ops=self.mem_ops,
+            llc_misses=self.hierarchy.stats.get("llc_misses") - window["llc_misses"],
+            dram_reads=self._dram_reads() - window["dram_reads"],
+            dram_writes=self.hierarchy.controller.stats.get("writes")
+            - window["dram_writes"],
+            tlb_misses=self.walker.tlb.stats.get("misses") - window["tlb_misses"],
+            walks=self.walker.stats.get("walks") - window["walks"],
+            walk_dram_reads=self.hierarchy.controller.stats.get("pte_reads")
+            - window["walk_dram"],
+        )
+
+    # -- one memory operation ---------------------------------------------------------
+
+    def _execute(self, virtual_address: int, is_write: bool, timed: bool = False) -> None:
+        physical = self._translate(virtual_address, timed)
+        line_address = physical & ~(CACHELINE_BYTES - 1)
+        if is_write:
+            result = self.hierarchy.write(line_address, _store_payload(line_address))
+        else:
+            result = self.hierarchy.read(line_address)
+        if timed:
+            stall = max(0, result.latency_cycles - self.l1_hit_latency)
+            self.cycles += stall
+            self.hierarchy.cycle = self.cycles
+
+    def _translate(self, virtual_address: int, timed: bool) -> int:
+        while True:
+            try:
+                walk = self.walker.translate(
+                    self.process.asid,
+                    self.process.page_table.root_pfn,
+                    virtual_address,
+                )
+                if timed and not walk.tlb_hit:
+                    # The walk's memory latency stalls the in-order pipe.
+                    self.cycles += walk.latency_cycles
+                    self.stats.increment("walk_stall_cycles", walk.latency_cycles)
+                return walk.pfn * PAGE_BYTES + (virtual_address & (PAGE_BYTES - 1))
+            except PageFaultError:
+                # Demand-paging faults are OS work outside the timed window
+                # (the paper fast-forwards past them with KVM).
+                self.kernel.handle_page_fault(self.process, virtual_address)

@@ -1,0 +1,111 @@
+"""Synthetic memory-trace generation from workload profiles.
+
+A trace is a deterministic (seeded) stream of
+:class:`TraceRecord(instructions, virtual_address, is_write)` items: the
+core executes ``instructions`` non-memory instructions, then one memory
+access. Two access regions model the locality structure:
+
+* a *hot* region sized to fit in L2 — high-reuse working set served by
+  the upper cache levels;
+* a *cold* region sized from the profile's footprint — streamed
+  sequentially or visited at random (``random_fraction``), producing the
+  LLC misses (and the TLB misses / page-table walks that come with a
+  footprint far beyond the TLB's 256 KB reach).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.common.config import CACHELINE_BYTES, KIB, MIB, PAGE_BYTES
+from repro.cpu.workloads import WorkloadProfile
+
+HOT_REGION_BYTES = 160 * KIB  # fits L2 (256 KB) with room for PTE lines
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One step: run ``instructions`` cycles of ALU work, then access memory."""
+
+    instructions: int
+    virtual_address: int
+    is_write: bool
+
+
+@dataclass(frozen=True)
+class TraceRegions:
+    """The VA layout a trace expects the process to have mapped."""
+
+    hot_base: int
+    hot_bytes: int
+    cold_base: int
+    cold_bytes: int
+
+
+class TraceGenerator:
+    """Deterministic trace stream for one workload profile."""
+
+    def __init__(
+        self,
+        profile: WorkloadProfile,
+        hot_base: int,
+        cold_base: int,
+        seed: int = 1,
+    ):
+        self.profile = profile
+        self.regions = TraceRegions(
+            hot_base=hot_base,
+            hot_bytes=HOT_REGION_BYTES,
+            cold_base=cold_base,
+            cold_bytes=profile.footprint_mib * MIB,
+        )
+        self._rng = random.Random((seed, profile.name).__str__())
+        self._cold_cursor = 0
+        # Average non-memory instructions between two memory operations.
+        self._gap = max(1, round(1000 / profile.mem_ops_per_kilo))
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        while True:
+            yield self.next_record()
+
+    def next_record(self) -> TraceRecord:
+        rng = self._rng
+        profile = self.profile
+        is_write = rng.random() < profile.write_fraction
+        if rng.random() < profile.cold_fraction:
+            address = self._cold_address()
+        else:
+            address = self._hot_address()
+        # Jitter the instruction gap a little so bank conflicts vary.
+        instructions = self._gap + rng.randrange(-1, 2) if self._gap > 1 else 1
+        return TraceRecord(
+            instructions=max(1, instructions),
+            virtual_address=address,
+            is_write=is_write,
+        )
+
+    def _hot_address(self) -> int:
+        offset = self._rng.randrange(self.regions.hot_bytes // CACHELINE_BYTES)
+        return self.regions.hot_base + offset * CACHELINE_BYTES
+
+    def _cold_address(self) -> int:
+        lines = self.regions.cold_bytes // CACHELINE_BYTES
+        if self._rng.random() < self.profile.random_fraction:
+            index = self._rng.randrange(lines)
+        else:
+            index = self._cold_cursor
+            self._cold_cursor = (self._cold_cursor + 1) % lines
+        return self.regions.cold_base + index * CACHELINE_BYTES
+
+    def pages_touched(self) -> TraceRegions:
+        return self.regions
+
+
+def region_pages(regions: TraceRegions) -> Iterator[int]:
+    """Every page base VA a trace may touch (for prefaulting)."""
+    for offset in range(0, regions.hot_bytes, PAGE_BYTES):
+        yield regions.hot_base + offset
+    for offset in range(0, regions.cold_bytes, PAGE_BYTES):
+        yield regions.cold_base + offset

@@ -1,0 +1,99 @@
+"""Workload models for the 25 evaluation benchmarks (paper Sec III, Fig 6).
+
+We cannot redistribute SPEC CPU2017 or run gem5 full-system traces, so
+each workload is a *statistical model*: a memory-access mix (hot-set
+reuse vs. streaming vs. random pointer-chasing over a large footprint)
+tuned so the baseline simulation reproduces the per-workload LLC MPKI
+the paper reports in Figure 6 (bottom). The slowdown PT-Guard induces is
+then an emergent property of the simulated machine, never hard-coded.
+
+``TARGET_MPKI`` values are read off the paper's Figure 6 (bottom panel);
+they are calibration *targets* — the bench output reports the measured
+MPKI next to the target so drift is visible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+MEM_OPS_PER_KILO_INSTRUCTION = 350  # ~35% of instructions touch memory
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Statistical description of one benchmark's memory behaviour."""
+
+    name: str
+    suite: str  # "spec-int" | "spec-fp" | "gap"
+    target_mpki: float  # LLC misses per kilo-instruction (paper Fig 6)
+    footprint_mib: int  # cold-region size driving LLC misses
+    random_fraction: float  # fraction of cold accesses that are random
+    write_fraction: float = 0.3
+    mem_ops_per_kilo: int = MEM_OPS_PER_KILO_INSTRUCTION
+
+    @property
+    def cold_fraction(self) -> float:
+        """Fraction of memory ops that target the cold (LLC-missing) region.
+
+        Each cold access to a footprint far exceeding the LLC misses with
+        probability ~1, so the cold fraction approximates
+        target_mpki / mem_ops_per_kilo.
+        """
+        return min(1.0, self.target_mpki / self.mem_ops_per_kilo)
+
+
+def _spec_int(name: str, mpki: float, mib: int = 32, rand: float = 0.5) -> WorkloadProfile:
+    return WorkloadProfile(name, "spec-int", mpki, mib, rand)
+
+
+def _spec_fp(name: str, mpki: float, mib: int = 32, rand: float = 0.2) -> WorkloadProfile:
+    return WorkloadProfile(name, "spec-fp", mpki, mib, rand)
+
+
+def _gap(name: str, mpki: float, mib: int = 48, rand: float = 0.8) -> WorkloadProfile:
+    return WorkloadProfile(name, "gap", mpki, mib, rand, write_fraction=0.15)
+
+
+# 20 SPEC CPU2017 workloads (all int + fp except gcc, blender, parest) and
+# 5 GAP graph workloads with USA-road, per the paper's methodology.
+WORKLOADS: List[WorkloadProfile] = [
+    _spec_int("perlbench", 0.6, mib=16),
+    _spec_int("mcf", 12.0, mib=48, rand=0.75),
+    _spec_int("omnetpp", 7.0, mib=40, rand=0.7),
+    _spec_int("xalancbmk", 29.0, mib=48, rand=0.6),
+    _spec_int("x264", 0.8, mib=16, rand=0.2),
+    _spec_int("deepsjeng", 0.5, mib=16, rand=0.5),
+    _spec_int("leela", 0.4, mib=16, rand=0.5),
+    _spec_int("exchange2", 0.05, mib=8, rand=0.2),
+    _spec_int("xz", 2.5, mib=32, rand=0.4),
+    _spec_fp("bwaves", 9.0, mib=48, rand=0.1),
+    _spec_fp("cactuBSSN", 5.0, mib=40),
+    _spec_fp("namd", 0.7, mib=16),
+    _spec_fp("povray", 0.1, mib=8),
+    _spec_fp("lbm", 26.0, mib=48, rand=0.05),
+    _spec_fp("wrf", 3.0, mib=32),
+    _spec_fp("cam4", 2.0, mib=32),
+    _spec_fp("imagick", 0.3, mib=16),
+    _spec_fp("nab", 1.2, mib=16),
+    _spec_fp("fotonik3d", 15.0, mib=48, rand=0.1),
+    _spec_fp("roms", 6.5, mib=40, rand=0.15),
+    _gap("bc", 16.0),
+    _gap("bfs", 11.0),
+    _gap("cc", 18.0),
+    _gap("pr", 20.0),
+    _gap("sssp", 13.0),
+]
+
+WORKLOADS_BY_NAME: Dict[str, WorkloadProfile] = {w.name: w for w in WORKLOADS}
+
+MEMORY_INTENSIVE = [w.name for w in WORKLOADS if w.target_mpki >= 10.0]
+
+
+def get_workload(name: str) -> WorkloadProfile:
+    try:
+        return WORKLOADS_BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; choose from {sorted(WORKLOADS_BY_NAME)}"
+        ) from None

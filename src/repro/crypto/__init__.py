@@ -1,0 +1,28 @@
+"""Cryptographic primitives: QARMA cipher, SipHash, and line MACs."""
+
+from repro.crypto.mac import (
+    Blake2LineMAC,
+    PseudoLineMAC,
+    LineMAC,
+    QarmaLineMAC,
+    SipHashLineMAC,
+    derive_key,
+    make_line_mac,
+)
+from repro.crypto.qarma import Qarma, Qarma64, Qarma128
+from repro.crypto.siphash import siphash24, siphash24_wide
+
+__all__ = [
+    "Blake2LineMAC",
+    "PseudoLineMAC",
+    "LineMAC",
+    "QarmaLineMAC",
+    "SipHashLineMAC",
+    "derive_key",
+    "make_line_mac",
+    "Qarma",
+    "Qarma64",
+    "Qarma128",
+    "siphash24",
+    "siphash24_wide",
+]

@@ -1,0 +1,21 @@
+"""DRAM substrate: geometry, device timing, and the Rowhammer fault model."""
+
+from repro.dram.device import DRAMDevice, MitigationPolicy
+from repro.dram.geometry import AddressMapper, DRAMCoordinate
+from repro.dram.rowhammer import (
+    BitFlip,
+    RowhammerModel,
+    RowhammerProfile,
+    inject_uniform_flips,
+)
+
+__all__ = [
+    "DRAMDevice",
+    "MitigationPolicy",
+    "AddressMapper",
+    "DRAMCoordinate",
+    "BitFlip",
+    "RowhammerModel",
+    "RowhammerProfile",
+    "inject_uniform_flips",
+]

@@ -1,0 +1,188 @@
+"""DDR4-like DRAM device model: banks, row buffers, refresh, Rowhammer.
+
+The device sits below the memory controller. It models:
+
+* per-bank open-row state (row hit / closed-bank miss / row conflict
+  latencies from :class:`repro.common.config.DRAMTimingConfig`);
+* activation accounting feeding the :class:`RowhammerModel`, with bit
+  flips *materialised* into the backing :class:`PhysicalMemory` the moment
+  a victim row crosses the threshold — subsequent reads observe tampered
+  data just like on real hardware;
+* periodic auto-refresh (the 64 ms retention window), which restores
+  charge and re-arms the fault model;
+* an optional in-DRAM mitigation hook (e.g. TRR) consulted on every
+  activation, whose victim refreshes feed back into the fault model —
+  which is precisely what Half-Double exploits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Protocol, Tuple
+
+from repro.common.config import DRAMConfig
+from repro.common.stats import StatGroup
+from repro.dram.geometry import AddressMapper, DRAMCoordinate
+from repro.dram.rowhammer import BitFlip, RowhammerModel, RowhammerProfile, RowKey
+from repro.mem.memory import PhysicalMemory
+
+BankKey = Tuple[int, int, int]
+
+
+class MitigationPolicy(Protocol):
+    """In-DRAM / in-controller Rowhammer mitigation interface (e.g. TRR).
+
+    ``on_activation`` is called for every row activation and returns the
+    rows the mitigation wants refreshed ("victim refreshes").
+    """
+
+    name: str
+
+    def on_activation(self, row_key: RowKey, cycle: int) -> List[RowKey]:
+        ...
+
+    def on_refresh_window(self) -> None:
+        ...
+
+
+class DRAMDevice:
+    """Functional + timing model of one DRAM sub-system."""
+
+    def __init__(
+        self,
+        config: DRAMConfig,
+        memory: PhysicalMemory,
+        rowhammer_profile: Optional[RowhammerProfile] = None,
+        mitigation: Optional[MitigationPolicy] = None,
+        seed: int = 2023,
+    ):
+        if memory.size_bytes != config.size_bytes:
+            raise ValueError("backing memory size must match DRAM config size")
+        self.config = config
+        self.memory = memory
+        self.mapper = AddressMapper(config)
+        self.mitigation = mitigation
+        profile = rowhammer_profile or RowhammerProfile.invulnerable()
+        self.rowhammer = RowhammerModel(
+            profile,
+            lines_per_row=self.mapper.lines_per_row,
+            neighbor_fn=self.mapper.neighbor_rows,
+            seed=seed,
+        )
+        self.stats = StatGroup("dram")
+        # Skip fault-model bookkeeping entirely for invulnerable modules
+        # (pure timing runs) — it is per-activation overhead.
+        self._rowhammer_active = profile.flip_probability > 0.0
+        self._open_rows: Dict[BankKey, int] = {}
+        self._flips_log: List[BitFlip] = []
+        self._last_refresh_cycle = 0
+
+    # -- timing + activation path -------------------------------------------
+
+    def access(self, address: int, is_write: bool, cycle: int = 0) -> int:
+        """Perform one cacheline access; returns the DRAM latency in cycles.
+
+        Opening a row (on miss/conflict) is an activation and feeds the
+        Rowhammer model; row hits do not re-activate (the basis of many
+        hammering patterns being *activation*-bound, not access-bound).
+        """
+        row_key = self.mapper.row_key_of(address)
+        bank = row_key[:3]
+        row = row_key[3]
+        timing = self.config.timing
+        open_row = self._open_rows.get(bank)
+
+        if open_row == row:
+            self.stats.increment("row_hits")
+            latency = timing.row_hit_cycles
+        else:
+            if open_row is None:
+                self.stats.increment("row_misses")
+                latency = timing.row_miss_cycles
+            else:
+                self.stats.increment("row_conflicts")
+                latency = timing.row_conflict_cycles
+            self._open_rows[bank] = row
+            self._activate(row_key, cycle)
+
+        self.stats.increment("writes" if is_write else "reads")
+        return latency
+
+    def _activate(self, row_key: RowKey, cycle: int) -> None:
+        self.stats.increment("activations")
+        if self._rowhammer_active:
+            self.rowhammer.record_activation(row_key)
+            self._materialise_flips_near(row_key)
+        if self.mitigation is not None:
+            for victim in self.mitigation.on_activation(row_key, cycle):
+                self.refresh_row(victim, mitigation=True)
+
+    def _materialise_flips_near(self, aggressor: RowKey) -> None:
+        """Apply bit flips to any neighbour the last activation pushed over RTH."""
+        candidates = self.mapper.neighbor_rows(aggressor, 1) + self.mapper.neighbor_rows(
+            aggressor, 2
+        )
+        for victim in candidates:
+            if not self.rowhammer.over_threshold(victim):
+                continue
+            flips = self.rowhammer.compute_flips(
+                victim,
+                line_address_fn=lambda row, idx: self.mapper.row_addresses(row)[idx],
+                read_bit=self.memory.read_bit,
+            )
+            for flip in flips:
+                self.memory.flip_bit(flip.line_address, flip.bit_offset)
+                self._flips_log.append(flip)
+                self.stats.increment("bit_flips")
+
+    # -- refresh ---------------------------------------------------------------
+
+    def refresh_row(self, row_key: RowKey, mitigation: bool = False) -> None:
+        """Refresh a single row (auto-refresh slice or victim refresh)."""
+        self.stats.increment("mitigation_refreshes" if mitigation else "refreshes")
+        if mitigation:
+            self.rowhammer.record_mitigation_refresh(row_key)
+            # The mitigation refresh itself may push *its* neighbours over
+            # the threshold — the Half-Double mechanism.
+            self._materialise_flips_near(row_key)
+        else:
+            self.rowhammer.record_refresh(row_key)
+
+    def refresh_window(self) -> None:
+        """A full 64 ms retention window elapsed: every row refreshed."""
+        self.stats.increment("refresh_windows")
+        self.rowhammer.refresh_window_elapsed()
+        if self.mitigation is not None:
+            self.mitigation.on_refresh_window()
+
+    def tick(self, cycle: int) -> None:
+        """Advance wall-clock maintenance; call periodically with the CPU cycle."""
+        window_cycles = int(
+            self.config.timing.refresh_window_ms * 1e-3 * 3e9
+        )  # 64 ms at 3 GHz
+        if cycle - self._last_refresh_cycle >= window_cycles:
+            self._last_refresh_cycle = cycle
+            self.refresh_window()
+
+    # -- functional data path (used by the memory controller) -------------------
+
+    def read_line(self, address: int) -> bytes:
+        return self.memory.read_line(address)
+
+    def write_line(self, address: int, data: bytes) -> None:
+        self.memory.write_line(address, data)
+
+    # -- introspection ------------------------------------------------------------
+
+    @property
+    def bit_flips(self) -> List[BitFlip]:
+        """All flips materialised so far (forensics for experiments)."""
+        return list(self._flips_log)
+
+    def row_of(self, address: int) -> RowKey:
+        return self.mapper.decompose(address).row_key
+
+    def addresses_in_row(self, row_key: RowKey) -> List[int]:
+        return self.mapper.row_addresses(row_key)
+
+    def open_row(self, bank: BankKey) -> Optional[int]:
+        return self._open_rows.get(bank)

@@ -1,0 +1,5 @@
+"""System assembly and experiment harness."""
+
+from repro.harness.system import System, build_system
+
+__all__ = ["System", "build_system"]

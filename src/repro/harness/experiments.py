@@ -1,0 +1,329 @@
+"""Named experiments: one entry per paper table/figure (DESIGN.md index).
+
+Each function runs an experiment at a configurable scale and returns a
+formatted report string; the CLI (:mod:`repro.harness.runner`) and the
+benchmarks call these, so the rows/series the paper reports come from a
+single code path.
+
+Scale control: ``scale=1.0`` is the bench default (minutes); the paper's
+full scale is reached with larger factors (e.g. ``--scale 5``) —
+absolute magnitudes are simulator-bound, shapes stabilise well before
+full scale.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional, Sequence
+
+from repro.analysis import (
+    ascii_bars,
+    banner,
+    format_table,
+    run_consumption_matrix,
+    run_figure6,
+    run_figure7,
+    run_figure8,
+    run_figure9,
+    run_flip_matrix,
+    summarize_figure6,
+)
+from repro.analysis.correction_eval import FIGURE9_WORKLOADS, P_FLIP_POINTS
+from repro.common.config import PTGuardConfig, optimized_ptguard_config
+from repro.core import security
+from repro.core.guard import PTGuard
+from repro.mmu.pte import ARMV8_LAYOUT, X86_64_LAYOUT
+
+
+def env_scale(default: float = 1.0) -> float:
+    """Scale factor from the REPRO_SCALE environment variable."""
+    try:
+        return float(os.environ.get("REPRO_SCALE", default))
+    except ValueError:
+        return default
+
+
+def experiment_tables_1_2() -> str:
+    """Tables I and II: the architectural PTE layouts."""
+    lines = [banner("Table I: x86_64 PTE layout")]
+    lines.append(
+        format_table(
+            ["bits", "purpose"],
+            [
+                (f"{hi}:{lo}" if hi != lo else str(hi), name)
+                for name, (hi, lo) in X86_64_LAYOUT.items()
+            ],
+        )
+    )
+    lines.append("")
+    lines.append(banner("Table II: ARMv8 PTE layout"))
+    lines.append(format_table(
+        ["bits", "purpose"],
+        [
+            (f"{hi}:{lo}" if hi != lo else str(hi), name)
+            for name, (hi, lo) in ARMV8_LAYOUT.items()
+        ],
+    ))
+    return "\n".join(lines)
+
+
+def experiment_figure6(scale: float = 1.0, workloads: Optional[Sequence[str]] = None) -> str:
+    """Figure 6: normalized IPC + MPKI across the 25 workloads."""
+    mem_ops = int(20_000 * scale)
+    warmup = int(12_000 * scale)
+    rows = run_figure6(workloads, mem_ops=mem_ops, warmup_ops=warmup)
+    summary = summarize_figure6(rows)
+    out = [banner("Figure 6: PT-Guard normalized IPC and LLC MPKI")]
+    out.append(
+        format_table(
+            ["workload", "suite", "MPKI(meas)", "MPKI(paper)", "IPC/IPCb",
+             "slowdown%", "opt-slowdown%"],
+            [
+                (
+                    r.workload,
+                    r.suite,
+                    round(r.measured_mpki, 1),
+                    r.target_mpki,
+                    round(r.normalized_ipc, 4),
+                    round(r.slowdown_percent, 2),
+                    round(r.optimized_slowdown_percent, 2)
+                    if r.optimized_slowdown_percent is not None
+                    else "-",
+                )
+                for r in rows
+            ],
+        )
+    )
+    out.append("")
+    out.append(
+        f"AMEAN slowdown: {summary['amean_slowdown_percent']:.2f}% "
+        f"(paper: 1.3%) | GMEAN normalized IPC: "
+        f"{summary['gmean_normalized_ipc']:.4f} | worst "
+        f"{summary['worst_slowdown_percent']:.2f}% (paper: 3.6% xalancbmk)"
+    )
+    if "optimized_amean_slowdown_percent" in summary:
+        out.append(
+            f"Optimized: AMEAN {summary['optimized_amean_slowdown_percent']:.2f}% "
+            f"(paper: 0.2%), worst "
+            f"{summary['optimized_worst_slowdown_percent']:.2f}% (paper: 0.4%)"
+        )
+    out.append("")
+    out.append(banner("slowdown by workload (shape of Fig 6 top)"))
+    out.append(
+        ascii_bars(
+            [r.workload for r in rows],
+            [max(0.0, r.slowdown_percent) for r in rows],
+            unit="%",
+        )
+    )
+    return "\n".join(out)
+
+
+def experiment_figure7(scale: float = 1.0, workloads: Optional[Sequence[str]] = None) -> str:
+    """Figure 7: slowdown vs MAC latency for both designs."""
+    mem_ops = int(20_000 * scale)
+    warmup = int(12_000 * scale)
+    if workloads is None:
+        # Default to a representative subset: full 25 x 8 runs is slow.
+        workloads = ["xalancbmk", "lbm", "mcf", "pr", "bwaves", "xz", "povray", "namd"]
+    points = run_figure7(workloads, mem_ops=mem_ops, warmup_ops=warmup)
+    out = [banner("Figure 7: slowdown vs MAC-computation latency")]
+    out.append(
+        format_table(
+            ["design", "MAC cycles", "avg slowdown%", "worst slowdown%", "worst workload"],
+            [
+                (
+                    p.design,
+                    p.mac_latency,
+                    round(p.average_slowdown_percent, 2),
+                    round(p.worst_slowdown_percent, 2),
+                    p.worst_workload,
+                )
+                for p in points
+            ],
+        )
+    )
+    out.append(
+        "paper: PT-Guard avg 0.7% (5cy) -> 2.6% (20cy); "
+        "Optimized stays below 0.3% at every latency"
+    )
+    return "\n".join(out)
+
+
+def experiment_figure8(scale: float = 1.0) -> str:
+    """Figure 8: PTE PFN-category distribution over the process population."""
+    num = max(20, int(623 * min(scale, 1.0))) if scale < 1.0 else int(623 * scale) if scale > 1.0 else 623
+    num = min(num, 1400)
+    profile = run_figure8(num_processes=num)
+    out = [banner(f"Figure 8: PTE locality over {len(profile.processes)} processes")]
+    rows = []
+    for category, paper in (("zero", 64.13), ("contiguous", 23.73), ("non_contiguous", 12.14)):
+        rows.append(
+            (
+                category,
+                f"{profile.mean_fraction(category) * 100:.2f}%",
+                f"{profile.stderr_fraction(category) * 100:.3f}",
+                f"{paper:.2f}%",
+            )
+        )
+    out.append(format_table(["category", "measured", "stderr", "paper"], rows))
+    ranked = profile.sorted_by_contiguity()
+    step = max(1, len(ranked) // 20)
+    out.append("")
+    out.append(banner("per-process contiguous fraction (sorted, Fig 8 shape)"))
+    out.append(
+        ascii_bars(
+            [p.name for p in ranked[::step]],
+            [p.contiguous_fraction * 100 for p in ranked[::step]],
+            unit="%",
+        )
+    )
+    return "\n".join(out)
+
+
+def experiment_figure9(scale: float = 1.0) -> str:
+    """Figure 9: fraction of faulty PTE lines corrected per p_flip."""
+    max_lines = int(200 * scale)
+    result = run_figure9(max_lines=max_lines, trials_per_line=3)
+    out = [banner("Figure 9: best-effort correction of faulty PTE cachelines")]
+    rows = []
+    for workload in FIGURE9_WORKLOADS:
+        row = [workload]
+        for p_flip in P_FLIP_POINTS:
+            cell = result.cell(workload, p_flip)
+            row.append(f"{cell.corrected_fraction * 100:.1f}%")
+        rows.append(tuple(row))
+    rows.append(
+        tuple(
+            ["AVERAGE"]
+            + [f"{result.average_corrected(p) * 100:.1f}%" for p in P_FLIP_POINTS]
+        )
+    )
+    out.append(format_table(["workload", "p=1/512", "p=1/256", "p=1/128"], rows))
+    out.append("paper: 93% average at p=1/512, 70% at p=1/128; 100% detection")
+    total_mis = sum(c.miscorrections for c in result.cells)
+    total_err = sum(c.lines_erroneous for c in result.cells)
+    covered = all(c.detection_coverage == 1.0 for c in result.cells if c.lines_erroneous)
+    out.append(
+        f"detection coverage 100%: {covered} | mis-corrections: {total_mis} "
+        f"over {total_err} faulty lines (paper: none)"
+    )
+    return "\n".join(out)
+
+
+def experiment_security_analysis() -> str:
+    """Sections IV-G and VI-E: the analytical security model."""
+    out = [banner("Security analysis (Eq 1, Eq 2)")]
+    rows = []
+    for k in range(0, 7):
+        summary = security.summarize(soft_match_k=k)
+        rows.append(
+            (
+                k,
+                f"2^{-security.effective_mac_bits(96, k, 372):.1f}".replace("-", ""),
+                round(summary.effective_bits, 1),
+                round(summary.security_loss, 1),
+                f"{summary.p_uncorrectable * 100:.3f}%",
+                f"{summary.years_to_attack:.2e}",
+            )
+        )
+    out.append(
+        format_table(
+            ["k", "p_escape", "n_eff bits", "loss bits", "p_uncorr (p=1%)", "years to attack"],
+            rows,
+        )
+    )
+    chosen = security.choose_soft_match_k(96, 0.01)
+    out.append(
+        f"chosen k for p_flip=1% (Sec VI-E policy): {chosen} (paper: 4); "
+        f"n_eff at k=4, Gmax=372: {security.effective_mac_bits(96, 4, 372):.1f} "
+        f"bits (paper: 66)"
+    )
+    out.append(
+        f"exact-match 96-bit MAC time-to-attack: "
+        f"{security.years_to_attack(96):.2e} years (paper: >1e14)"
+    )
+    return "\n".join(out)
+
+
+def experiment_storage() -> str:
+    """Section V-E: SRAM budget."""
+    base = PTGuard(PTGuardConfig())
+    optimized = PTGuard(optimized_ptguard_config())
+    out = [banner("Section V-E: SRAM storage budget")]
+    out.append(
+        format_table(
+            ["design", "SRAM bytes", "paper"],
+            [
+                ("PT-Guard", base.sram_bytes, 52),
+                ("Optimized PT-Guard", optimized.sram_bytes, 71),
+            ],
+        )
+    )
+    return "\n".join(out)
+
+
+def experiment_attack_matrix() -> str:
+    """Sections II/VIII: the attack-vs-defense story."""
+    out = [banner("Bit-flip layer: hammering pattern vs deployed mitigation")]
+    out.append(
+        format_table(
+            ["defense", "attack", "PTE row flipped", "any flips", "mitig refreshes"],
+            [
+                (e.defense, e.attack, e.victim_flipped, e.any_flips, e.mitigation_refreshes)
+                for e in run_flip_matrix()
+            ],
+        )
+    )
+    out.append("")
+    out.append(banner("PTE-consumption layer: tampering vs page-table protection"))
+    out.append(
+        format_table(
+            ["protection", "scenario", "prevented", "why"],
+            [
+                (e.protection, e.scenario, e.prevented, e.note)
+                for e in run_consumption_matrix()
+            ],
+        )
+    )
+    return "\n".join(out)
+
+
+def experiment_multicore(scale: float = 1.0) -> str:
+    """Section VII-C: 4-core slowdown (SAME and MIX)."""
+    from repro.cpu.multicore import make_random_mix, make_same_mix, multicore_slowdown
+
+    mem_ops = int(4000 * scale)
+    out = [banner("Section VII-C: 4-core slowdown")]
+    rows = []
+    slowdowns = []
+    for name in ("lbm", "xalancbmk", "xz", "namd"):
+        s = multicore_slowdown(make_same_mix(name), mem_ops_per_core=mem_ops)
+        rows.append((f"SAME-{name}", round(s, 2)))
+        slowdowns.append(s)
+    for seed in (1, 2):
+        mix = make_random_mix(seed)
+        s = multicore_slowdown(mix, mem_ops_per_core=mem_ops, seed=seed)
+        rows.append((f"MIX-{seed} ({','.join(mix)})", round(s, 2)))
+        slowdowns.append(s)
+    out.append(format_table(["configuration", "slowdown %"], rows))
+    out.append(
+        f"average: {sum(slowdowns) / len(slowdowns):.2f}% | worst: "
+        f"{max(slowdowns):.2f}% (paper: 0.5% avg / 1.6% worst with O3 cores; "
+        "our blocking in-order cores keep full stall exposure, so absolute "
+        "values sit closer to the single-core numbers)"
+    )
+    return "\n".join(out)
+
+
+EXPERIMENTS = {
+    "tables12": experiment_tables_1_2,
+    "fig6": experiment_figure6,
+    "fig7": experiment_figure7,
+    "fig8": experiment_figure8,
+    "fig9": experiment_figure9,
+    "security": experiment_security_analysis,
+    "storage": experiment_storage,
+    "attacks": experiment_attack_matrix,
+    "multicore": experiment_multicore,
+}

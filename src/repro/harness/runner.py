@@ -1,0 +1,51 @@
+"""Command-line entry point: ``ptguard-repro <experiment> [--scale S]``.
+
+Runs any experiment from the DESIGN.md index and prints the same
+rows/series the paper's tables and figures report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import inspect
+import sys
+import time
+from typing import List, Optional
+
+from repro.harness.experiments import EXPERIMENTS
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="ptguard-repro",
+        description="PT-Guard (DSN 2023) reproduction experiments",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which paper artefact to regenerate",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="work multiplier: 1.0 = quick (default); larger = closer to paper scale",
+    )
+    args = parser.parse_args(argv)
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        function = EXPERIMENTS[name]
+        start = time.time()
+        if "scale" in inspect.signature(function).parameters:
+            report = function(scale=args.scale)
+        else:
+            report = function()
+        print(report)
+        print(f"[{name}: {time.time() - start:.1f}s]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,132 @@
+"""Full-system assembly: wire DRAM, PT-Guard, caches, MMU, kernel, core.
+
+:func:`build_system` is the main entry point of the library — it
+assembles the machine of paper Table III with or without PT-Guard and
+returns a :class:`System` handle exposing every layer, so examples,
+tests, attacks and benchmarks all construct their machines the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.common.config import PTGuardConfig, SystemConfig
+from repro.cache.hierarchy import CacheHierarchy
+from repro.core.guard import PTGuard
+from repro.cpu.core import InOrderCore
+from repro.cpu.trace import TraceGenerator
+from repro.cpu.workloads import WorkloadProfile
+from repro.dram.device import DRAMDevice, MitigationPolicy
+from repro.dram.rowhammer import RowhammerProfile
+from repro.mem.controller import MemoryController
+from repro.mem.memory import PhysicalMemory
+from repro.mmu.mmu_cache import MMUCache
+from repro.mmu.tlb import TLB
+from repro.mmu.walker import PageWalker
+from repro.os.kernel import Kernel
+from repro.os.process import Process
+
+from repro.common.config import MIB
+
+HOT_BASE = 0x0000_5000_0000_0000
+COLD_BASE = 0x0000_6000_0000_0000
+
+
+@dataclass
+class System:
+    """One assembled machine."""
+
+    config: SystemConfig
+    memory: PhysicalMemory
+    dram: DRAMDevice
+    guard: Optional[PTGuard]
+    controller: MemoryController
+    hierarchy: CacheHierarchy
+    kernel: Kernel
+
+    def new_core(self, process: Process) -> InOrderCore:
+        """A hardware thread with private TLB/MMU-cache over the shared
+        hierarchy (single-core experiments use exactly one)."""
+        walker = PageWalker(self.hierarchy, tlb=TLB(self.config.tlb.entries),
+                            mmu_cache=MMUCache(self.config.tlb.mmu_cache_bytes,
+                                               self.config.tlb.mmu_cache_assoc))
+        return InOrderCore(self.hierarchy, walker, self.kernel, process)
+
+    def workload_process(self, profile: WorkloadProfile, seed: int = 1):
+        """Create a process + trace pair laid out for ``profile``."""
+        from repro.cpu.trace import HOT_REGION_BYTES
+
+        process = self.kernel.create_process(profile.name)
+        trace = TraceGenerator(profile, hot_base=HOT_BASE, cold_base=COLD_BASE, seed=seed)
+        self.kernel.mmap(
+            process,
+            HOT_REGION_BYTES // 4096,
+            name="hot",
+            at=HOT_BASE,
+        )
+        self.kernel.mmap(
+            process,
+            profile.footprint_mib * MIB // 4096,
+            name="cold",
+            at=COLD_BASE,
+        )
+        return process, trace
+
+
+def build_system(
+    config: Optional[SystemConfig] = None,
+    ptguard: Optional[PTGuardConfig] = None,
+    mac_algorithm: str = "blake2",
+    rowhammer: Optional[RowhammerProfile] = None,
+    mitigation: Optional[MitigationPolicy] = None,
+    seed: int = 2023,
+) -> System:
+    """Assemble a machine.
+
+    Parameters
+    ----------
+    config:
+        Machine configuration (defaults to paper Table III).
+    ptguard:
+        PT-Guard configuration, or None for the unprotected baseline. A
+        guard config already present in ``config.ptguard`` is used when
+        this argument is None.
+    mac_algorithm:
+        ``"qarma"`` (paper primitive), ``"siphash"``, ``"blake2"``
+        (default; fast and keyed) or ``"pseudo"`` (timing runs only).
+    rowhammer:
+        DRAM vulnerability profile; None disables bit flips.
+    mitigation:
+        Optional in-DRAM mitigation (e.g. TRR) for attack experiments.
+    """
+    config = config if config is not None else SystemConfig()
+    guard_config = ptguard if ptguard is not None else config.ptguard
+    memory = PhysicalMemory(config.dram.size_bytes)
+    dram = DRAMDevice(
+        config.dram,
+        memory,
+        rowhammer_profile=rowhammer,
+        mitigation=mitigation,
+        seed=seed,
+    )
+    guard = (
+        PTGuard(guard_config, mac_algorithm=mac_algorithm, seed=seed)
+        if guard_config is not None
+        else None
+    )
+    controller = MemoryController(dram, guard)
+    hierarchy = CacheHierarchy(config, controller)
+    # Hardware coherence: foreign stores (the kernel's port) invalidate
+    # stale cached copies.
+    controller.attach_coherent_cache(hierarchy)
+    kernel = Kernel(controller, config)
+    return System(
+        config=config,
+        memory=memory,
+        dram=dram,
+        guard=guard,
+        controller=controller,
+        hierarchy=hierarchy,
+        kernel=kernel,
+    )

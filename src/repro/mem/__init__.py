@@ -1,0 +1,11 @@
+"""Memory subsystem: physical backing store and the memory controller."""
+
+from repro.mem.controller import MemoryController, MemoryRequest, MemoryResponse
+from repro.mem.memory import PhysicalMemory
+
+__all__ = [
+    "MemoryController",
+    "MemoryRequest",
+    "MemoryResponse",
+    "PhysicalMemory",
+]

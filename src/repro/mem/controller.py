@@ -1,0 +1,153 @@
+"""Memory controller: the seam where PT-Guard lives (paper Sec IV-F, Fig 5).
+
+The controller serves cacheline requests from the cache hierarchy and the
+page-table walker. Requests carry the ``isPTE`` bit the paper adds to the
+request bus; responses carry the ``PTECheckFailed`` bit. On every write
+the guard's bit-pattern match runs before data reaches DRAM; on every
+read the guard inspects the line coming out of DRAM before it is
+forwarded, adding MAC-unit latency on the critical path where required.
+
+Without a guard (``ptguard=None``) the controller is the unprotected
+baseline of the evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from typing import TYPE_CHECKING
+
+from repro.common.config import CACHELINE_BYTES
+from repro.common.errors import CollisionBufferOverflow
+from repro.common.stats import StatGroup
+from repro.core.guard import PTGuard, ReadOutcome
+
+if TYPE_CHECKING:  # avoid a circular package import at runtime
+    from repro.dram.device import DRAMDevice
+
+
+@dataclass(frozen=True)
+class MemoryRequest:
+    """One cacheline transaction presented to the controller."""
+
+    address: int  # line-aligned physical address
+    is_write: bool
+    is_pte: bool = False  # the isPTE request-bus bit (set on TLB-miss walks)
+    data: Optional[bytes] = None  # required for writes
+    cycle: int = 0
+    # Coherence origin: the cache issuing a write-back, excluded from the
+    # invalidation broadcast so its own (possibly newer) upper-level
+    # copies survive.
+    origin: Optional[object] = None
+
+    def __post_init__(self) -> None:
+        if self.address % CACHELINE_BYTES:
+            raise ValueError(f"request address {self.address:#x} not line-aligned")
+        if self.is_write and (self.data is None or len(self.data) != CACHELINE_BYTES):
+            raise ValueError("write requests need a full 64-byte data payload")
+
+
+@dataclass(frozen=True)
+class MemoryResponse:
+    """The controller's reply."""
+
+    data: Optional[bytes]  # line forwarded to caches (None for writes)
+    latency_cycles: int  # DRAM + MAC-unit latency on the critical path
+    pte_check_failed: bool = False  # the PTECheckFailed response-bus bit
+    corrected: bool = False  # PT-Guard transparently corrected the PTE line
+    rekey_required: bool = False  # CTB overflowed; OS should trigger re-keying
+    overflow_address: Optional[int] = None  # the colliding line (Sec VII-B:
+    # reported to the OS so it can sanitise the address / kill the writer)
+    guard_outcome: Optional[ReadOutcome] = None
+
+
+class MemoryController:
+    """FR-FCFS-less single-queue controller with an optional PT-Guard stage."""
+
+    def __init__(self, dram: "DRAMDevice", ptguard: Optional[PTGuard] = None):
+        self.dram = dram
+        self.ptguard = ptguard
+        self.stats = StatGroup("mem_controller")
+        # Coherence listeners: caches that must drop their copy of a line
+        # whenever some other agent writes it through this controller.
+        self._coherence_listeners: list = []
+
+    def attach_coherent_cache(self, cache) -> None:
+        """Register an object with a ``discard(address)`` method to be
+        notified on every DRAM write (models hardware invalidation)."""
+        self._coherence_listeners.append(cache)
+
+    def access(self, request: MemoryRequest) -> MemoryResponse:
+        """Serve one request; returns data (reads) and total latency."""
+        if request.is_write:
+            return self._write(request)
+        return self._read(request)
+
+    # -- write path -----------------------------------------------------------
+
+    def _write(self, request: MemoryRequest) -> MemoryResponse:
+        self.stats.increment("writes")
+        latency = self.dram.access(request.address, is_write=True, cycle=request.cycle)
+        rekey_required = False
+        overflow_address = None
+        data = request.data
+        assert data is not None
+        if self.ptguard is not None:
+            try:
+                outcome = self.ptguard.process_write(request.address, data)
+                data = outcome.stored_line
+            except CollisionBufferOverflow:
+                # Sec VII-B: store the raw line and raise the condition to
+                # the OS with the colliding address, so it can sanitise the
+                # line (write a benign value), kill the offending process,
+                # and trigger the re-key sweep.
+                self.stats.increment("ctb_overflows")
+                rekey_required = True
+                overflow_address = request.address
+        self.dram.write_line(request.address, data)
+        # Only foreign stores (kernel port, DMA-style agents) invalidate
+        # cached copies; a cache write-back (origin set) must not discard
+        # other caches' possibly-newer copies of the line.
+        if request.origin is None:
+            for cache in self._coherence_listeners:
+                cache.discard(request.address)
+        return MemoryResponse(
+            data=None,
+            latency_cycles=latency,
+            rekey_required=rekey_required,
+            overflow_address=overflow_address,
+        )
+
+    # -- read path ---------------------------------------------------------------
+
+    def _read(self, request: MemoryRequest) -> MemoryResponse:
+        self.stats.increment("pte_reads" if request.is_pte else "reads")
+        latency = self.dram.access(request.address, is_write=False, cycle=request.cycle)
+        stored = self.dram.read_line(request.address)
+        if self.ptguard is None:
+            return MemoryResponse(data=stored, latency_cycles=latency)
+
+        outcome = self.ptguard.process_read(request.address, stored, request.is_pte)
+        latency += outcome.latency_cycles
+        if outcome.corrected_stored_line is not None:
+            # Transparent repair: scrub the corrected line back into DRAM.
+            self.dram.write_line(request.address, outcome.corrected_stored_line)
+            self.stats.increment("correction_writebacks")
+        if outcome.pte_check_failed:
+            self.stats.increment("pte_check_failures")
+        return MemoryResponse(
+            data=outcome.line,
+            latency_cycles=latency,
+            pte_check_failed=outcome.pte_check_failed,
+            corrected=outcome.corrected,
+            guard_outcome=outcome,
+        )
+
+    # -- convenience functional helpers (used by the OS substrate) -----------------
+
+    def read_line(self, address: int, is_pte: bool = False) -> MemoryResponse:
+        return self.access(MemoryRequest(address=address, is_write=False, is_pte=is_pte))
+
+    def write_line(self, address: int, data: bytes) -> MemoryResponse:
+        return self.access(MemoryRequest(address=address, is_write=True, data=data))

@@ -1,0 +1,125 @@
+"""Sparse physical-memory backing store.
+
+The simulator's DRAM contents live here as a dict of 64-byte cachelines
+keyed by line address; untouched lines read as zeros (cheap for a 4 GB
+space of which a workload touches megabytes). All structured accesses —
+PTE reads by the walker, OS page-table writes, attacker stores — funnel
+through this object, so Rowhammer flips applied here are visible to every
+consumer, exactly as in real DRAM.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator
+
+from repro.common.config import CACHELINE_BYTES
+from repro.common.errors import ConfigurationError
+
+_ZERO_LINE = bytes(CACHELINE_BYTES)
+
+
+class PhysicalMemory:
+    """Byte-addressable sparse memory of ``size_bytes`` capacity."""
+
+    def __init__(self, size_bytes: int):
+        if size_bytes <= 0 or size_bytes % CACHELINE_BYTES:
+            raise ConfigurationError("memory size must be a positive multiple of 64")
+        self.size_bytes = size_bytes
+        self._lines: Dict[int, bytes] = {}
+
+    # -- line-granularity access (the DRAM interface) ----------------------
+
+    def line_address(self, address: int) -> int:
+        return address & ~(CACHELINE_BYTES - 1)
+
+    def _check(self, address: int, length: int = 1) -> None:
+        if not 0 <= address <= self.size_bytes - length:
+            raise ValueError(
+                f"access [{address:#x}, +{length}) outside memory of "
+                f"{self.size_bytes:#x} bytes"
+            )
+
+    def read_line(self, line_address: int) -> bytes:
+        """Read the 64-byte line at ``line_address`` (must be aligned)."""
+        self._check(line_address, CACHELINE_BYTES)
+        if line_address % CACHELINE_BYTES:
+            raise ValueError(f"unaligned line address {line_address:#x}")
+        return self._lines.get(line_address, _ZERO_LINE)
+
+    def write_line(self, line_address: int, data: bytes) -> None:
+        """Write a full 64-byte line."""
+        self._check(line_address, CACHELINE_BYTES)
+        if line_address % CACHELINE_BYTES:
+            raise ValueError(f"unaligned line address {line_address:#x}")
+        if len(data) != CACHELINE_BYTES:
+            raise ValueError(f"line data must be {CACHELINE_BYTES} bytes")
+        if data == _ZERO_LINE:
+            self._lines.pop(line_address, None)
+        else:
+            self._lines[line_address] = bytes(data)
+
+    # -- byte/word access (the OS-substrate interface) ----------------------
+
+    def read(self, address: int, length: int) -> bytes:
+        """Read ``length`` bytes starting at any address."""
+        self._check(address, length)
+        out = bytearray()
+        cursor = address
+        remaining = length
+        while remaining:
+            line_addr = self.line_address(cursor)
+            offset = cursor - line_addr
+            take = min(CACHELINE_BYTES - offset, remaining)
+            out += self.read_line(line_addr)[offset : offset + take]
+            cursor += take
+            remaining -= take
+        return bytes(out)
+
+    def write(self, address: int, data: bytes) -> None:
+        """Write ``data`` starting at any address."""
+        self._check(address, len(data))
+        cursor = address
+        view = memoryview(data)
+        while view:
+            line_addr = self.line_address(cursor)
+            offset = cursor - line_addr
+            take = min(CACHELINE_BYTES - offset, len(view))
+            line = bytearray(self.read_line(line_addr))
+            line[offset : offset + take] = view[:take]
+            self.write_line(line_addr, bytes(line))
+            cursor += take
+            view = view[take:]
+
+    def read_u64(self, address: int) -> int:
+        """Read one little-endian 64-bit word (e.g. a PTE)."""
+        return int.from_bytes(self.read(address, 8), "little")
+
+    def write_u64(self, address: int, value: int) -> None:
+        """Write one little-endian 64-bit word."""
+        self.write(address, (value & (1 << 64) - 1).to_bytes(8, "little"))
+
+    # -- bit access (the Rowhammer interface) -------------------------------
+
+    def read_bit(self, line_address: int, bit_offset: int) -> int:
+        """Read a single bit of a line (bit 0 = LSB of byte 0)."""
+        byte = self.read_line(line_address)[bit_offset // 8]
+        return (byte >> (bit_offset % 8)) & 1
+
+    def flip_bit(self, line_address: int, bit_offset: int) -> None:
+        """Invert a single bit of a line (fault injection)."""
+        line = bytearray(self.read_line(line_address))
+        line[bit_offset // 8] ^= 1 << (bit_offset % 8)
+        self.write_line(line_address, bytes(line))
+
+    # -- introspection -------------------------------------------------------
+
+    def touched_lines(self) -> Iterator[int]:
+        """Iterate over addresses of lines with non-zero content."""
+        return iter(self._lines)
+
+    def zero_fill(self, address: int, length: int) -> None:
+        """Zero a byte range (used by the OS when clearing pages)."""
+        self.write(address, bytes(length))
+
+    def __len__(self) -> int:
+        return len(self._lines)

@@ -1,0 +1,35 @@
+"""MMU substrate: PTE formats, page tables, TLB, MMU cache, and walker."""
+
+from repro.mmu.mmu_cache import MMUCache
+from repro.mmu.page_table import PageTable, WalkStep, level_index, vpn_of
+from repro.mmu.pte import (
+    ArmPageTableEntry,
+    X86PageTableEntry,
+    make_arm_pte,
+    make_x86_pte,
+)
+from repro.mmu.tlb import TLB, TLBEntry
+from repro.mmu.walker import (
+    ControllerPort,
+    PageWalker,
+    PTEIntegrityException,
+    WalkResult,
+)
+
+__all__ = [
+    "MMUCache",
+    "PageTable",
+    "WalkStep",
+    "level_index",
+    "vpn_of",
+    "ArmPageTableEntry",
+    "X86PageTableEntry",
+    "make_arm_pte",
+    "make_x86_pte",
+    "TLB",
+    "TLBEntry",
+    "ControllerPort",
+    "PageWalker",
+    "PTEIntegrityException",
+    "WalkResult",
+]

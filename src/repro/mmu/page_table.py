@@ -1,0 +1,224 @@
+"""Four-level x86_64 radix page tables living in simulated physical memory.
+
+The OS substrate builds real page tables — PML4, PDPT, PD, PT — inside
+:class:`~repro.mem.memory.PhysicalMemory`, writing entries through a
+*physical access port* so every PTE store crosses the memory controller
+and gets PT-Guard's write-time treatment. The hardware walker
+(:mod:`repro.mmu.walker`) then reads the same bytes back with the isPTE
+bit set. Nothing about the mechanism is mocked: an attack that flips a
+stored PTE bit corrupts exactly the bytes this module wrote.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Protocol, Tuple
+
+from repro.common.bitops import bits
+from repro.common.config import PAGE_BYTES
+from repro.common.errors import TranslationError
+from repro.mmu.pte import X86PageTableEntry, make_x86_pte
+
+LEVELS = 4  # PML4, PDPT, PD, PT
+INDEX_BITS = 9
+ENTRIES_PER_TABLE = 1 << INDEX_BITS  # 512
+PTE_SIZE = 8
+
+LEVEL_NAMES = ("PML4", "PDPT", "PD", "PT")
+
+
+class PhysicalPort(Protocol):
+    """How the OS reads/writes physical memory (through the controller)."""
+
+    def read_u64(self, address: int) -> int:
+        ...
+
+    def write_u64(self, address: int, value: int) -> None:
+        ...
+
+
+def level_index(virtual_address: int, level: int) -> int:
+    """The 9-bit table index for ``level`` (0 = PML4 ... 3 = PT)."""
+    shift = 12 + INDEX_BITS * (LEVELS - 1 - level)
+    return bits(virtual_address, shift + INDEX_BITS - 1, shift)
+
+
+def vpn_of(virtual_address: int) -> int:
+    return virtual_address >> 12
+
+
+def page_offset(virtual_address: int) -> int:
+    return virtual_address & (PAGE_BYTES - 1)
+
+
+@dataclass(frozen=True)
+class WalkStep:
+    """One level of a software walk: where we read and what we found."""
+
+    level: int
+    entry_address: int  # physical address of the PTE consulted
+    entry: int  # raw value
+
+
+class PageTable:
+    """One process's 4-level page table, rooted at ``root_pfn``.
+
+    ``allocate_table_page`` is called when a mapping needs a new
+    intermediate table; it must return the PFN of a zeroed page (the OS
+    zeroes table pages on allocation, which is what makes PT-Guard's
+    bit-pattern match succeed for every PTE line).
+    """
+
+    def __init__(
+        self,
+        port: PhysicalPort,
+        root_pfn: int,
+        allocate_table_page: Callable[[], int],
+    ):
+        self.port = port
+        self.root_pfn = root_pfn
+        self._allocate_table_page = allocate_table_page
+        self.table_pfns: List[int] = [root_pfn]  # every table page we own
+        # Software cache of intermediate-table PFNs keyed by index prefix.
+        # Valid because this object is the only mutator of its tables and
+        # intermediate tables are never torn down before the process dies.
+        self._table_cache: Dict[tuple, int] = {}
+
+    # -- mapping --------------------------------------------------------------
+
+    def map(
+        self,
+        virtual_address: int,
+        pfn: int,
+        writable: bool = True,
+        user: bool = True,
+        no_execute: bool = False,
+        protection_key: int = 0,
+    ) -> None:
+        """Install a 4 KB translation VA -> PFN."""
+        table_pfn = self.root_pfn
+        prefix: tuple = ()
+        for level in range(LEVELS - 1):
+            index = level_index(virtual_address, level)
+            prefix = prefix + (index,)
+            cached = self._table_cache.get(prefix)
+            if cached is not None:
+                table_pfn = cached
+                continue
+            entry_address = table_pfn * PAGE_BYTES + index * PTE_SIZE
+            entry = self.port.read_u64(entry_address)
+            decoded = X86PageTableEntry(entry)
+            if not decoded.present:
+                new_pfn = self._allocate_table_page()
+                self.table_pfns.append(new_pfn)
+                # Intermediate entries are kernel-writable, user-visible.
+                self.port.write_u64(
+                    entry_address, make_x86_pte(new_pfn, writable=True, user=True)
+                )
+                table_pfn = new_pfn
+            else:
+                table_pfn = decoded.pfn
+            self._table_cache[prefix] = table_pfn
+        leaf_address = table_pfn * PAGE_BYTES + level_index(virtual_address, LEVELS - 1) * PTE_SIZE
+        self.port.write_u64(
+            leaf_address,
+            make_x86_pte(
+                pfn,
+                writable=writable,
+                user=user,
+                no_execute=no_execute,
+                protection_key=protection_key,
+            ),
+        )
+
+    def unmap(self, virtual_address: int) -> bool:
+        """Clear the leaf PTE for ``virtual_address``; True if it existed."""
+        steps = self.walk_software(virtual_address)
+        if steps is None:
+            return False
+        leaf = steps[-1]
+        self.port.write_u64(leaf.entry_address, 0)
+        return True
+
+    # -- software walks (the OS's own view, not the hardware walker) -----------
+
+    def walk_software(self, virtual_address: int) -> Optional[List[WalkStep]]:
+        """Walk all four levels; None when any level is non-present."""
+        steps: List[WalkStep] = []
+        table_pfn = self.root_pfn
+        for level in range(LEVELS):
+            entry_address = table_pfn * PAGE_BYTES + level_index(virtual_address, level) * PTE_SIZE
+            entry = self.port.read_u64(entry_address)
+            steps.append(WalkStep(level=level, entry_address=entry_address, entry=entry))
+            decoded = X86PageTableEntry(entry)
+            if not decoded.present:
+                return None
+            table_pfn = decoded.pfn
+        return steps
+
+    def translate(self, virtual_address: int) -> int:
+        """VA -> PA, raising :class:`TranslationError` on a hole."""
+        steps = self.walk_software(virtual_address)
+        if steps is None:
+            raise TranslationError(f"no mapping for VA {virtual_address:#x}")
+        leaf = X86PageTableEntry(steps[-1].entry)
+        return leaf.pfn * PAGE_BYTES + page_offset(virtual_address)
+
+    def leaf_entry_address(self, virtual_address: int) -> Optional[int]:
+        """Physical address of the leaf PTE (attack targeting helper)."""
+        steps = self.walk_software(virtual_address)
+        if steps is None:
+            return None
+        return steps[-1].entry_address
+
+    # -- enumeration (profiling, Fig 8) -------------------------------------------
+
+    def iter_leaf_tables(self) -> Iterator[Tuple[int, List[int]]]:
+        """Yield (table_pfn, entries) for every leaf (PT-level) table page."""
+        for pml4_index in range(ENTRIES_PER_TABLE):
+            pml4e = self._entry(self.root_pfn, pml4_index)
+            if not X86PageTableEntry(pml4e).present:
+                continue
+            pdpt_pfn = X86PageTableEntry(pml4e).pfn
+            for pdpt_index in range(ENTRIES_PER_TABLE):
+                pdpte = self._entry(pdpt_pfn, pdpt_index)
+                if not X86PageTableEntry(pdpte).present:
+                    continue
+                pd_pfn = X86PageTableEntry(pdpte).pfn
+                for pd_index in range(ENTRIES_PER_TABLE):
+                    pde = self._entry(pd_pfn, pd_index)
+                    if not X86PageTableEntry(pde).present:
+                        continue
+                    pt_pfn = X86PageTableEntry(pde).pfn
+                    entries = [
+                        self._entry(pt_pfn, i) for i in range(ENTRIES_PER_TABLE)
+                    ]
+                    yield pt_pfn, entries
+
+    def iter_mappings(self) -> Iterator[Tuple[int, int]]:
+        """Yield (vpn, pfn) for every present leaf translation."""
+        for pml4_index in range(ENTRIES_PER_TABLE):
+            pml4e = X86PageTableEntry(self._entry(self.root_pfn, pml4_index))
+            if not pml4e.present:
+                continue
+            for pdpt_index in range(ENTRIES_PER_TABLE):
+                pdpte = X86PageTableEntry(self._entry(pml4e.pfn, pdpt_index))
+                if not pdpte.present:
+                    continue
+                for pd_index in range(ENTRIES_PER_TABLE):
+                    pde = X86PageTableEntry(self._entry(pdpte.pfn, pd_index))
+                    if not pde.present:
+                        continue
+                    for pt_index in range(ENTRIES_PER_TABLE):
+                        leaf = X86PageTableEntry(self._entry(pde.pfn, pt_index))
+                        if leaf.present:
+                            vpn = (
+                                (pml4_index << 27)
+                                | (pdpt_index << 18)
+                                | (pd_index << 9)
+                                | pt_index
+                            )
+                            yield vpn, leaf.pfn
+
+    def _entry(self, table_pfn: int, index: int) -> int:
+        return self.port.read_u64(table_pfn * PAGE_BYTES + index * PTE_SIZE)

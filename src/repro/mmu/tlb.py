@@ -1,0 +1,78 @@
+"""Translation Lookaside Buffer: 64-entry, fully associative, LRU (Table III).
+
+Entries are tagged by (address-space id, virtual page number). PT-Guard
+never changes the TLB — the MAC is stripped before a PTE line reaches the
+MMU — which is exactly the transparency property the paper claims; the
+tests assert that entries never contain MAC bits.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.common.stats import StatGroup
+
+
+@dataclass(frozen=True)
+class TLBEntry:
+    """A cached translation."""
+
+    pfn: int
+    writable: bool
+    user_accessible: bool
+    no_execute: bool
+    global_page: bool = False
+
+
+class TLB:
+    """Fully-associative LRU TLB."""
+
+    def __init__(self, entries: int = 64):
+        if entries <= 0:
+            raise ValueError("TLB must have at least one entry")
+        self.capacity = entries
+        self._entries: OrderedDict[Tuple[int, int], TLBEntry] = OrderedDict()
+        self.stats = StatGroup("tlb")
+
+    def lookup(self, asid: int, vpn: int) -> Optional[TLBEntry]:
+        key = (asid, vpn)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.increment("misses")
+            return None
+        self.stats.increment("hits")
+        self._entries.move_to_end(key)
+        return entry
+
+    def insert(self, asid: int, vpn: int, entry: TLBEntry) -> None:
+        key = (asid, vpn)
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        elif len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.increment("evictions")
+        self._entries[key] = entry
+
+    def invalidate_page(self, asid: int, vpn: int) -> None:
+        """invlpg: drop one translation."""
+        self._entries.pop((asid, vpn), None)
+
+    def invalidate_asid(self, asid: int) -> None:
+        """Address-space switch without global pages."""
+        for key in [k for k in self._entries if k[0] == asid]:
+            del self._entries[key]
+
+    def flush(self) -> None:
+        """Full TLB shootdown."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        hits = self.stats.get("hits")
+        total = hits + self.stats.get("misses")
+        return hits / total if total else 0.0

@@ -1,0 +1,14 @@
+"""OS substrate: buddy allocator, processes, and the miniature kernel."""
+
+from repro.os.allocator import BuddyAllocator
+from repro.os.kernel import ControllerPhysicalPort, IntegrityIncident, Kernel
+from repro.os.process import VMA, Process
+
+__all__ = [
+    "BuddyAllocator",
+    "ControllerPhysicalPort",
+    "IntegrityIncident",
+    "Kernel",
+    "VMA",
+    "Process",
+]

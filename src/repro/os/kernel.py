@@ -1,0 +1,316 @@
+"""The OS substrate: a miniature kernel over the simulated machine.
+
+The kernel owns the physical-page allocator and builds *real* page tables
+in simulated DRAM, writing every PTE through the memory controller — so
+PT-Guard's write-side pattern match sees genuine page-table traffic
+without any software cooperation, exactly the paper's deployment model.
+
+Responsibilities:
+
+* physical memory management (buddy allocator; a reserved kernel region);
+* process lifecycle (create/destroy, ASIDs, page-table roots);
+* demand paging (page-fault handling on first touch);
+* the ``PhysicalPort`` used by page tables — line-granularity
+  read-modify-write through the controller, mirroring how real PTE stores
+  travel through the cache hierarchy to DRAM;
+* handling PT-Guard's integrity exception (kill process / report), and
+  the CTB-overflow re-key sweep (Sec VII-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.common.config import CACHELINE_BYTES, PAGE_BYTES, SystemConfig
+from repro.common.errors import AllocationError, PageFaultError
+from repro.common.stats import StatGroup
+from repro.mem.controller import MemoryController
+from repro.mmu.page_table import PageTable
+from repro.mmu.walker import ControllerPort, PageWalker, PTEIntegrityException
+from repro.os.allocator import BuddyAllocator
+from repro.os.process import VMA, Process
+
+KERNEL_RESERVED_PAGES = 256  # first 1 MB: "kernel image + boot structures"
+
+
+class ControllerPhysicalPort:
+    """Line-granularity physical access through the memory controller.
+
+    Models the path OS stores take: a read-modify-write of the containing
+    cacheline. Reads of protected lines come back MAC-stripped; writes of
+    PTE lines match the bit pattern and get a fresh MAC embedded.
+    """
+
+    def __init__(self, controller: MemoryController):
+        self.controller = controller
+
+    def read_u64(self, address: int) -> int:
+        line_address = address & ~(CACHELINE_BYTES - 1)
+        response = self.controller.read_line(line_address)
+        offset = address - line_address
+        return int.from_bytes(response.data[offset : offset + 8], "little")
+
+    def write_u64(self, address: int, value: int) -> None:
+        line_address = address & ~(CACHELINE_BYTES - 1)
+        response = self.controller.read_line(line_address)
+        line = bytearray(response.data)
+        offset = address - line_address
+        line[offset : offset + 8] = (value & (1 << 64) - 1).to_bytes(8, "little")
+        self.controller.write_line(line_address, bytes(line))
+
+    def read_bytes(self, address: int, length: int) -> bytes:
+        out = bytearray()
+        cursor = address
+        while len(out) < length:
+            line_address = cursor & ~(CACHELINE_BYTES - 1)
+            response = self.controller.read_line(line_address)
+            offset = cursor - line_address
+            take = min(CACHELINE_BYTES - offset, length - len(out))
+            out += response.data[offset : offset + take]
+            cursor += take
+        return bytes(out)
+
+    def write_bytes(self, address: int, data: bytes) -> None:
+        cursor = address
+        view = memoryview(data)
+        while view:
+            line_address = cursor & ~(CACHELINE_BYTES - 1)
+            offset = cursor - line_address
+            take = min(CACHELINE_BYTES - offset, len(view))
+            if take == CACHELINE_BYTES:
+                self.controller.write_line(line_address, bytes(view[:take]))
+            else:
+                response = self.controller.read_line(line_address)
+                line = bytearray(response.data)
+                line[offset : offset + take] = view[:take]
+                self.controller.write_line(line_address, bytes(line))
+            cursor += take
+            view = view[take:]
+
+
+@dataclass
+class IntegrityIncident:
+    """Record of one PTECheckFailed exception delivered to the kernel."""
+
+    pid: int
+    virtual_address: int
+    entry_address: int
+    action: str  # "killed" | "corrected" | "reported"
+
+
+class Kernel:
+    """Miniature OS over one memory controller."""
+
+    def __init__(self, controller: MemoryController, config: Optional[SystemConfig] = None):
+        self.controller = controller
+        self.config = config if config is not None else SystemConfig()
+        self.port = ControllerPhysicalPort(controller)
+        total_pages = self.controller.dram.config.size_bytes // PAGE_BYTES
+        self.allocator = BuddyAllocator(
+            base_pfn=KERNEL_RESERVED_PAGES,
+            num_pages=total_pages - KERNEL_RESERVED_PAGES,
+        )
+        self.processes: Dict[int, Process] = {}
+        self.incidents: List[IntegrityIncident] = []
+        self.walker = PageWalker(ControllerPort(controller))
+        self.stats = StatGroup("kernel")
+        self._next_pid = 1
+
+    # -- frame management -------------------------------------------------------
+
+    def allocate_table_page(self) -> int:
+        """Allocate and *zero through the controller* one page-table page.
+
+        Zeroing through the controller is essential: every PTE line of the
+        new table crosses the guard's write path, matches the bit pattern
+        (all zeros) and receives its MAC — so a later hardware walk of a
+        not-yet-populated line passes its integrity check.
+        """
+        pfn = self.allocator.alloc_page()
+        self.zero_page(pfn)
+        self.stats.increment("table_pages")
+        return pfn
+
+    def zero_page(self, pfn: int) -> None:
+        base = pfn * PAGE_BYTES
+        zero_line = bytes(CACHELINE_BYTES)
+        for offset in range(0, PAGE_BYTES, CACHELINE_BYTES):
+            self.controller.write_line(base + offset, zero_line)
+
+    # -- process lifecycle ----------------------------------------------------------
+
+    def create_process(self, name: str = "proc") -> Process:
+        root_pfn = self.allocate_table_page()
+        pid = self._next_pid
+        self._next_pid += 1
+        page_table = PageTable(
+            self.port, root_pfn, allocate_table_page=self.allocate_table_page
+        )
+        process = Process(pid=pid, name=name, page_table=page_table)
+        self.processes[pid] = process
+        self.stats.increment("processes_created")
+        return process
+
+    def destroy_process(self, process: Process) -> None:
+        """Free every frame and table page the process owns."""
+        for pfn in process.frames.values():
+            self.allocator.free_pages(pfn)
+        for table_pfn in process.page_table.table_pfns:
+            self.allocator.free_pages(table_pfn)
+        self.processes.pop(process.pid, None)
+        self.walker.tlb.invalidate_asid(process.asid)
+        # The walk cache keys entries by physical address; the freed table
+        # frames may be re-used by another process, so shoot it down.
+        self.walker.mmu_cache.flush()
+        self.stats.increment("processes_destroyed")
+
+    # -- mmap + demand paging ----------------------------------------------------------
+
+    def mmap(
+        self,
+        process: Process,
+        num_pages: int,
+        name: str = "anon",
+        writable: bool = True,
+        executable: bool = False,
+        at: Optional[int] = None,
+        populate: bool = False,
+    ) -> VMA:
+        """Create a VMA; optionally fault every page in immediately."""
+        if at is not None:
+            vma = process.add_vma(
+                VMA(start=at, num_pages=num_pages, writable=writable,
+                    executable=executable, name=name)
+            )
+        else:
+            vma = process.reserve_mmap_region(
+                num_pages, name=name, writable=writable, executable=executable
+            )
+        if populate:
+            for page in range(num_pages):
+                self.handle_page_fault(process, vma.start + page * PAGE_BYTES)
+        return vma
+
+    def handle_page_fault(self, process: Process, virtual_address: int) -> int:
+        """Demand-paging fault: allocate a frame and map it. Returns the PFN."""
+        vma = process.find_vma(virtual_address)
+        if vma is None:
+            raise PageFaultError(virtual_address, level=-1, message="SIGSEGV: no VMA")
+        vpn = virtual_address >> 12
+        if vpn in process.frames:
+            return process.frames[vpn]
+        pfn = self.allocator.alloc_page()
+        process.frames[vpn] = pfn
+        process.page_table.map(
+            virtual_address & ~(PAGE_BYTES - 1),
+            pfn,
+            writable=vma.writable,
+            user=True,
+            no_execute=not vma.executable,
+        )
+        self.stats.increment("page_faults")
+        return pfn
+
+    # -- user access path (functional) ---------------------------------------------------
+
+    def access_virtual(
+        self, process: Process, virtual_address: int, write: bool = False
+    ) -> int:
+        """Translate a user access, faulting pages in on demand.
+
+        Returns the physical address. PT-Guard integrity failures during
+        the walk surface as :class:`PTEIntegrityException` *after* being
+        recorded as an incident (the OS's exception handler runs first).
+        """
+        faults = 0
+        while True:
+            try:
+                result = self.walker.translate(
+                    process.asid, process.page_table.root_pfn, virtual_address
+                )
+                return result.pfn * PAGE_BYTES + (virtual_address & (PAGE_BYTES - 1))
+            except PageFaultError:
+                faults += 1
+                if faults == 2:
+                    # The page was supposedly resident yet the walk still
+                    # faults (e.g. a flipped present bit): re-establish the
+                    # mapping explicitly, as an OS would on a spurious fault.
+                    vpn = virtual_address >> 12
+                    pfn = process.frames.get(vpn)
+                    if pfn is not None:
+                        process.page_table.map(
+                            virtual_address & ~(PAGE_BYTES - 1), pfn,
+                            writable=True, user=True,
+                        )
+                        continue
+                if faults > 2:
+                    # Unresolvable: surface it rather than loop (the OS
+                    # would deliver SIGBUS).
+                    raise
+                self.handle_page_fault(process, virtual_address)
+            except PTEIntegrityException as exc:
+                self.incidents.append(
+                    IntegrityIncident(
+                        pid=process.pid,
+                        virtual_address=virtual_address,
+                        entry_address=exc.line_address,
+                        action="killed",
+                    )
+                )
+                self.stats.increment("integrity_kills")
+                raise
+
+    def read_virtual(self, process: Process, virtual_address: int, length: int) -> bytes:
+        """Read user memory through translation (may fault pages in)."""
+        out = bytearray()
+        cursor = virtual_address
+        while len(out) < length:
+            physical = self.access_virtual(process, cursor)
+            take = min(PAGE_BYTES - (cursor & (PAGE_BYTES - 1)), length - len(out))
+            out += self.port.read_bytes(physical, take)
+            cursor += take
+        return bytes(out)
+
+    def write_virtual(self, process: Process, virtual_address: int, data: bytes) -> None:
+        """Write user memory through translation (may fault pages in)."""
+        cursor = virtual_address
+        view = memoryview(data)
+        while view:
+            physical = self.access_virtual(process, cursor, write=True)
+            take = min(PAGE_BYTES - (cursor & (PAGE_BYTES - 1)), len(view))
+            self.port.write_bytes(physical, bytes(view[:take]))
+            cursor += take
+            view = view[take:]
+
+    # -- PT-Guard maintenance hooks -------------------------------------------------------
+
+    def handle_ctb_overflow(self, overflow_address: int) -> None:
+        """The Sec VII-B overflow response: sanitise the colliding line by
+        writing a benign value (zeros) to it, so it no longer collides,
+        then re-key the whole memory. In a real deployment the OS would
+        also kill the process that crafted the colliding value."""
+        self.controller.write_line(overflow_address, bytes(CACHELINE_BYTES))
+        self.stats.increment("ctb_overflow_responses")
+        self.rekey_memory()
+
+    def rekey_memory(self) -> int:
+        """Full-memory re-key after CTB pressure (Sec VII-B).
+
+        Reads every resident line under the old key (stripping MACs where
+        present), rotates the guard's key epoch, and rewrites the lines so
+        fresh MACs are embedded. Returns the number of lines rewritten.
+        """
+        guard = self.controller.ptguard
+        if guard is None:
+            return 0
+        memory = self.controller.dram.memory
+        logical: Dict[int, bytes] = {}
+        for line_address in list(memory.touched_lines()):
+            response = self.controller.read_line(line_address)
+            logical[line_address] = response.data
+        guard.rekey()
+        for line_address, data in logical.items():
+            self.controller.write_line(line_address, data)
+        self.stats.increment("rekeys")
+        return len(logical)

@@ -1,0 +1,90 @@
+"""Process abstraction: address space, VMAs, demand paging state.
+
+A process owns a 4-level page table and a list of virtual memory areas
+(VMAs). Pages are populated on first touch (demand paging) by the kernel,
+which is what produces the page-table shape Figure 8 profiles: a VMA that
+only partially covers a leaf table leaves the rest of that table's 512
+PTEs zero, and sequential faults receive buddy-contiguous frames.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.common.config import PAGE_BYTES
+from repro.mmu.page_table import PageTable
+
+# Conventional layout bases (x86_64 user space).
+TEXT_BASE = 0x0000_0000_0040_0000
+HEAP_BASE = 0x0000_0000_1000_0000
+MMAP_BASE = 0x0000_7F00_0000_0000
+STACK_TOP = 0x0000_7FFF_FFFF_F000
+
+
+@dataclass
+class VMA:
+    """One virtual memory area."""
+
+    start: int  # page-aligned VA
+    num_pages: int
+    writable: bool = True
+    executable: bool = False
+    name: str = "anon"
+
+    @property
+    def end(self) -> int:
+        return self.start + self.num_pages * PAGE_BYTES
+
+    def contains(self, virtual_address: int) -> bool:
+        return self.start <= virtual_address < self.end
+
+
+@dataclass
+class Process:
+    """A user process: ASID, page table, VMAs, and fault bookkeeping."""
+
+    pid: int
+    name: str
+    page_table: PageTable
+    vmas: List[VMA] = field(default_factory=list)
+    frames: Dict[int, int] = field(default_factory=dict)  # vpn -> pfn
+    _mmap_cursor: int = MMAP_BASE
+
+    @property
+    def asid(self) -> int:
+        return self.pid
+
+    def find_vma(self, virtual_address: int) -> Optional[VMA]:
+        for vma in self.vmas:
+            if vma.contains(virtual_address):
+                return vma
+        return None
+
+    def add_vma(self, vma: VMA) -> VMA:
+        if any(
+            existing.start < vma.end and vma.start < existing.end
+            for existing in self.vmas
+        ):
+            raise ValueError(f"VMA [{vma.start:#x}, {vma.end:#x}) overlaps existing")
+        self.vmas.append(vma)
+        return vma
+
+    def reserve_mmap_region(self, num_pages: int, name: str = "anon",
+                            writable: bool = True, executable: bool = False) -> VMA:
+        """Carve the next VMA out of the mmap area (like mmap(NULL, ...))."""
+        vma = VMA(
+            start=self._mmap_cursor,
+            num_pages=num_pages,
+            writable=writable,
+            executable=executable,
+            name=name,
+        )
+        self.add_vma(vma)
+        # Leave a one-page guard gap, as Linux's mmap layout tends to.
+        self._mmap_cursor = vma.end + PAGE_BYTES
+        return vma
+
+    @property
+    def resident_pages(self) -> int:
+        return len(self.frames)

@@ -1,0 +1,13 @@
+"""Test-suite configuration: hypothesis tuned for CI boxes."""
+
+from hypothesis import HealthCheck, settings
+
+# Simulator-backed property tests construct real machines; generous
+# deadlines keep them stable on slow single-core CI runners.
+settings.register_profile(
+    "repro",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+    max_examples=50,
+)
+settings.load_profile("repro")

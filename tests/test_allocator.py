@@ -1,0 +1,125 @@
+"""Tests for the buddy page-frame allocator."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import AllocationError
+from repro.os.allocator import MAX_ORDER, BuddyAllocator
+
+
+class TestBasics:
+    def test_alloc_returns_absolute_pfn(self):
+        allocator = BuddyAllocator(base_pfn=256, num_pages=1024)
+        pfn = allocator.alloc_page()
+        assert 256 <= pfn < 256 + 1024
+
+    def test_counts(self):
+        allocator = BuddyAllocator(0, 1024)
+        allocator.alloc_page()
+        allocator.alloc_pages(3)
+        assert allocator.allocated_pages_count == 1 + 8
+        assert allocator.free_pages_count == 1024 - 9
+
+    def test_exhaustion(self):
+        allocator = BuddyAllocator(0, 4)
+        for _ in range(4):
+            allocator.alloc_page()
+        with pytest.raises(AllocationError):
+            allocator.alloc_page()
+
+    def test_order_bounds(self):
+        allocator = BuddyAllocator(0, 1024)
+        with pytest.raises(AllocationError):
+            allocator.alloc_pages(MAX_ORDER + 1)
+
+    def test_block_alignment(self):
+        allocator = BuddyAllocator(0, 1 << MAX_ORDER)
+        pfn = allocator.alloc_pages(4)
+        assert pfn % 16 == 0
+
+
+class TestContiguity:
+    def test_sequential_allocs_are_contiguous_runs(self):
+        """The Fig-8 mechanism: order-0 pages carved from one split block
+        come back with consecutive PFNs."""
+        allocator = BuddyAllocator(0, 1024)
+        pfns = [allocator.alloc_page() for _ in range(64)]
+        contiguous_steps = sum(
+            1 for a, b in zip(pfns, pfns[1:]) if abs(b - a) == 1
+        )
+        assert contiguous_steps >= 48  # the large majority
+
+
+class TestFree:
+    def test_free_then_realloc(self):
+        allocator = BuddyAllocator(0, 16)
+        pfn = allocator.alloc_page()
+        allocator.free_pages(pfn)
+        assert allocator.free_pages_count == 16
+
+    def test_double_free_rejected(self):
+        allocator = BuddyAllocator(0, 16)
+        pfn = allocator.alloc_page()
+        allocator.free_pages(pfn)
+        with pytest.raises(AllocationError):
+            allocator.free_pages(pfn)
+
+    def test_bogus_free_rejected(self):
+        allocator = BuddyAllocator(0, 16)
+        with pytest.raises(AllocationError):
+            allocator.free_pages(3)
+
+    def test_coalescing_restores_large_blocks(self):
+        allocator = BuddyAllocator(0, 16)
+        pfns = [allocator.alloc_page() for _ in range(16)]
+        for pfn in pfns:
+            allocator.free_pages(pfn)
+        # After freeing everything, an order-4 block must be allocatable.
+        assert allocator.alloc_pages(4) == 0
+
+    def test_fragmentation_metric(self):
+        allocator = BuddyAllocator(0, 64)
+        assert allocator.fragmentation() == pytest.approx(0.0)
+        held = [allocator.alloc_page() for _ in range(64)]
+        for pfn in held[::2]:
+            allocator.free_pages(pfn)
+        assert allocator.fragmentation() > 0.9  # only order-0 holes
+
+
+class TestInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(0, 3), max_size=60), st.integers(0, 2**32 - 1))
+    def test_no_double_allocation_and_conservation(self, orders, seed):
+        """Property: live blocks never overlap; free+allocated = total."""
+        rng = random.Random(seed)
+        allocator = BuddyAllocator(0, 512)
+        live = {}  # base pfn -> size
+        for order in orders:
+            if live and rng.random() < 0.4:
+                base = rng.choice(list(live))
+                allocator.free_pages(base)
+                del live[base]
+                continue
+            try:
+                base = allocator.alloc_pages(order)
+            except AllocationError:
+                continue
+            size = 1 << order
+            for other, other_size in live.items():
+                assert base + size <= other or other + other_size <= base, \
+                    "overlapping allocation"
+            live[base] = size
+        assert allocator.allocated_pages_count == sum(live.values())
+        assert allocator.free_pages_count == 512 - sum(live.values())
+
+    def test_odd_total_covered(self):
+        allocator = BuddyAllocator(0, 1000)  # not a power of two
+        assert allocator.free_pages_count == 1000
+        seen = set()
+        for _ in range(1000):
+            pfn = allocator.alloc_page()
+            assert pfn not in seen and 0 <= pfn < 1000
+            seen.add(pfn)

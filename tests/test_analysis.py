@@ -1,0 +1,124 @@
+"""Tests for the analysis layer: Fig 8 profiling, Fig 9 correction eval,
+Fig 6/7 plumbing, and reporting helpers."""
+
+import pytest
+
+from repro.analysis.correction_eval import evaluate_workload
+from repro.analysis.pte_profile import (
+    PopulationConfig,
+    classify_line,
+    profile_population,
+    synthesize_population,
+)
+from repro.analysis.reporting import ascii_bars, banner, format_table
+from repro.mmu.pte import make_x86_pte
+
+
+class TestClassifyLine:
+    def test_all_zero(self):
+        assert classify_line([0] * 8) == (8, 0, 0)
+
+    def test_contiguous_run(self):
+        entries = [make_x86_pte(100 + i) for i in range(8)]
+        assert classify_line(entries) == (0, 8, 0)
+
+    def test_scattered(self):
+        entries = [make_x86_pte(100 * i + 7) for i in range(1, 9)]
+        assert classify_line(entries) == (0, 0, 8)
+
+    def test_mixed(self):
+        entries = [make_x86_pte(100), make_x86_pte(101), 0, make_x86_pte(500),
+                   0, 0, 0, 0]
+        zero, contiguous, non = classify_line(entries)
+        assert zero == 5 and contiguous == 2 and non == 1
+
+    def test_contiguity_skips_zero_neighbours(self):
+        """Contiguity is judged against the nearest *non-zero* neighbour."""
+        entries = [make_x86_pte(100), 0, 0, make_x86_pte(101), 0, 0, 0, 0]
+        zero, contiguous, non = classify_line(entries)
+        assert contiguous == 2
+
+    def test_descending_also_contiguous(self):
+        entries = [make_x86_pte(108 - i) for i in range(8)]
+        assert classify_line(entries) == (0, 8, 0)
+
+
+class TestPopulationSynthesis:
+    @pytest.fixture(scope="class")
+    def population(self):
+        config = PopulationConfig(num_processes=40, seed=3)
+        system, processes = synthesize_population(config=config)
+        return profile_population(processes)
+
+    def test_population_has_survivors(self, population):
+        assert 15 <= len(population.processes) <= 40
+
+    def test_fractions_sum_to_one(self, population):
+        for process in population.processes:
+            total = (
+                process.zero_fraction
+                + process.contiguous_fraction
+                + process.non_contiguous_fraction
+            )
+            assert total == pytest.approx(1.0)
+
+    def test_statistics_near_paper(self, population):
+        """Loose bands around Fig 8's 64% / 24% / 12% at small scale."""
+        assert 0.50 <= population.mean_fraction("zero") <= 0.82
+        assert 0.10 <= population.mean_fraction("contiguous") <= 0.42
+        assert 0.01 <= population.mean_fraction("non_contiguous") <= 0.25
+
+    def test_sorted_view(self, population):
+        ranked = population.sorted_by_contiguity()
+        fractions = [p.contiguous_fraction for p in ranked]
+        assert fractions == sorted(fractions)
+
+    def test_determinism(self):
+        config = PopulationConfig(num_processes=10, seed=5)
+        _, a = synthesize_population(config=config)
+        _, b = synthesize_population(config=config)
+        stats_a = profile_population(a)
+        stats_b = profile_population(b)
+        assert stats_a.total_ptes == stats_b.total_ptes
+
+
+class TestCorrectionEval:
+    @pytest.fixture(scope="class")
+    def cell(self):
+        return evaluate_workload("mcf", 1 / 512, max_lines=60, trials_per_line=2)
+
+    def test_full_detection_coverage(self, cell):
+        """Sec VI-F: 'we detect all the faults injected' — 100% coverage."""
+        assert cell.detection_coverage == 1.0
+
+    def test_no_miscorrections(self, cell):
+        assert cell.miscorrections == 0
+
+    def test_majority_corrected_at_low_p(self, cell):
+        assert cell.corrected_fraction > 0.80
+
+    def test_correction_degrades_with_p_flip(self):
+        low = evaluate_workload("mcf", 1 / 512, max_lines=60, trials_per_line=2)
+        high = evaluate_workload("mcf", 1 / 64, max_lines=60, trials_per_line=2)
+        assert high.corrected_fraction < low.corrected_fraction
+
+    def test_strategies_used(self, cell):
+        assert cell.winning_steps  # at least one strategy fired
+
+
+class TestReporting:
+    def test_format_table_aligns(self):
+        text = format_table(["a", "bb"], [(1, 2), (333, 4)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line.rstrip()) for line in lines[2:])) <= 2
+
+    def test_banner(self):
+        assert banner("hi").startswith("== hi ")
+
+    def test_ascii_bars(self):
+        chart = ascii_bars(["x", "yy"], [1.0, 2.0], width=10)
+        assert "#" in chart and "yy" in chart
+
+    def test_ascii_bars_empty(self):
+        assert ascii_bars([], []) == "(no data)"

@@ -1,0 +1,127 @@
+"""Tests for the ARMv8 PT-Guard layout (ISA-independence, Sec IV-F)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import arm_pattern
+from repro.mmu.pte import make_arm_pte
+
+lines = st.binary(min_size=64, max_size=64)
+macs = st.integers(0, 2**96 - 1)
+identifiers = st.integers(0, 2**48 - 1)
+
+
+def arm_pte_line(base_pfn=0x5123, present=8):
+    """A realistic ARMv8 leaf-table cacheline (1 TB machine: PFN < 2^28)."""
+    import struct
+
+    ptes = [
+        make_arm_pte(base_pfn + i, access_permissions=0b01, execute_never=0b10)
+        if i < present
+        else 0
+        for i in range(8)
+    ]
+    return b"".join(struct.pack("<Q", p) for p in ptes)
+
+
+class TestCapacity:
+    def test_same_mac_budget_as_x86(self):
+        """12 unused bits per PTE -> the same 96-bit line MAC."""
+        assert arm_pattern.MAC_BITS_PER_LINE == 96
+
+    def test_identifier_budget(self):
+        assert arm_pattern.ID_BITS_PER_LINE == 48
+
+
+class TestPatternMatch:
+    def test_real_arm_pte_line_matches(self):
+        assert arm_pattern.matches_pattern(arm_pte_line(), extended=True)
+
+    def test_zero_line_matches(self):
+        assert arm_pattern.matches_pattern(bytes(64), extended=True)
+
+    def test_large_pfn_breaks_match(self):
+        """A PFN above the 1 TB bound occupies the MAC carrier bits."""
+        line = arm_pte_line(base_pfn=1 << 30)
+        assert not arm_pattern.matches_pattern(line)
+
+    def test_random_data_never_matches(self):
+        import random
+
+        rng = random.Random(2)
+        assert not any(
+            arm_pattern.matches_pattern(rng.randbytes(64)) for _ in range(100)
+        )
+
+
+class TestRoundTrips:
+    @given(macs)
+    def test_mac_embed_extract(self, tag):
+        assert arm_pattern.extract_mac(arm_pattern.embed_mac(bytes(64), tag)) == tag
+
+    @given(lines, macs)
+    def test_embed_preserves_other_bits(self, line, tag):
+        stored = arm_pattern.embed_mac(line, tag)
+        assert arm_pattern.strip_mac(stored) == arm_pattern.strip_mac(line)
+
+    @given(identifiers)
+    def test_identifier_embed_extract(self, ident):
+        stored = arm_pattern.embed_identifier(bytes(64), ident)
+        assert arm_pattern.extract_identifier(stored) == ident
+
+    def test_strip_restores_pte_line(self):
+        line = arm_pte_line()
+        stored = arm_pattern.embed_identifier(
+            arm_pattern.embed_mac(line, (1 << 96) - 1), (1 << 48) - 1
+        )
+        assert arm_pattern.strip_metadata(stored) == line
+
+    def test_oversized_rejected(self):
+        with pytest.raises(ValueError):
+            arm_pattern.embed_mac(bytes(64), 1 << 96)
+        with pytest.raises(ValueError):
+            arm_pattern.embed_identifier(bytes(64), 1 << 48)
+
+
+class TestProtection:
+    def test_accessed_flag_unprotected(self):
+        pmask = arm_pattern.protected_bits_mask()
+        assert (pmask >> arm_pattern.ACCESSED_BIT) & 1 == 0
+
+    def test_security_metadata_protected(self):
+        """Valid bit, AP bits, XN bits and the PFN must be covered."""
+        pmask = arm_pattern.protected_bits_mask()
+        for bit in (0, 6, 7, 12, 39, 53, 54):
+            assert (pmask >> bit) & 1 == 1, f"bit {bit} uncovered"
+
+    def test_metadata_carriers_unprotected(self):
+        pmask = arm_pattern.protected_bits_mask()
+        for bit in list(range(40, 51)) + [8, 9, 55, 56, 57, 58, 63]:
+            assert (pmask >> bit) & 1 == 0, f"bit {bit} wrongly covered"
+
+    @given(lines)
+    def test_mask_idempotent(self, line):
+        masked = arm_pattern.mask_unprotected(line)
+        assert arm_pattern.mask_unprotected(masked) == masked
+
+
+class TestEndToEndWithMAC:
+    def test_tamper_detection_on_arm_line(self):
+        """The full PT-Guard check using the ARM layout + a real MAC."""
+        from repro.crypto.mac import Blake2LineMAC
+
+        mac = Blake2LineMAC(bytes(range(32)))
+        line = arm_pte_line()
+        tag = mac.compute(arm_pattern.mask_unprotected(line), 0x8000)
+        stored = arm_pattern.embed_mac(line, tag)
+        # verify
+        recomputed = mac.compute(arm_pattern.mask_unprotected(stored), 0x8000)
+        assert recomputed == arm_pattern.extract_mac(stored)
+        # tamper with the AP bits (privilege escalation on ARM)
+        tampered = bytearray(stored)
+        tampered[0] ^= 0x40  # bit 6: access permissions
+        recomputed = mac.compute(
+            arm_pattern.mask_unprotected(bytes(tampered)), 0x8000
+        )
+        assert recomputed != arm_pattern.extract_mac(bytes(tampered))

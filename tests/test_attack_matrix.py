@@ -1,0 +1,85 @@
+"""Tests for the attack-vs-defense matrices (the paper's security story)."""
+
+import pytest
+
+from repro.analysis.attack_matrix import (
+    run_consumption_matrix,
+    run_flip_experiment,
+)
+
+
+@pytest.fixture(scope="module")
+def consumption():
+    return run_consumption_matrix()
+
+
+class TestFlipLayer:
+    """One representative cell per claim (full grid lives in the bench)."""
+
+    def test_undefended_double_sided_flips(self):
+        assert run_flip_experiment("none", "double-sided").victim_flipped
+
+    def test_half_double_needs_a_defense_to_work(self):
+        """Without victim refreshes, direct distance-2 coupling is too weak
+        to flip the distance-2 victim (the aggressors' *adjacent* rows
+        still flip — that is ordinary distance-1 physics)."""
+        cell = run_flip_experiment("none", "half-double")
+        assert not cell.victim_flipped
+
+    def test_trr_stops_double_sided(self):
+        assert not run_flip_experiment("TRR", "double-sided").victim_flipped
+
+    def test_trr_breached_by_many_sided(self):
+        """TRRespass [15]: more aggressors than sampler entries."""
+        assert run_flip_experiment("TRR", "many-sided").any_flips
+
+    def test_trr_breached_by_half_double(self):
+        """Half-Double [30]: the mitigation's refreshes hammer distance 2."""
+        cell = run_flip_experiment("TRR", "half-double")
+        assert cell.victim_flipped
+        assert cell.mitigation_refreshes > 0
+
+    def test_counter_trr_stops_many_sided_but_not_half_double(self):
+        assert not run_flip_experiment("CounterTRR", "many-sided").any_flips
+        assert run_flip_experiment("CounterTRR", "half-double").victim_flipped
+
+    def test_low_rth_module_breaks_counter_trr(self):
+        """Sec II-B: design-time threshold assumptions fail on newer DRAM."""
+        assert run_flip_experiment("CounterTRR-lowRTH", "double-sided").victim_flipped
+
+    def test_softtrr_protects_distance_one_but_not_half_double(self):
+        assert not run_flip_experiment("SoftTRR", "double-sided").victim_flipped
+        assert run_flip_experiment("SoftTRR", "half-double").victim_flipped
+
+
+class TestConsumptionLayer:
+    def _cell(self, consumption, protection, scenario):
+        for cell in consumption:
+            if cell.protection == protection and cell.scenario == scenario:
+                return cell
+        raise KeyError((protection, scenario))
+
+    def test_secwalk_catches_small_flips(self, consumption):
+        assert self._cell(consumption, "SecWalk", "pfn-1flip-down").prevented
+        assert self._cell(consumption, "SecWalk", "user-bit").prevented
+
+    def test_secwalk_misses_five_flips(self, consumption):
+        assert not self._cell(consumption, "SecWalk", "pfn-5flips").prevented
+
+    def test_monotonic_misses_metadata(self, consumption):
+        for scenario in ("user-bit", "nx-bit", "mpk-bits"):
+            assert not self._cell(consumption, "MonotonicPointers", scenario).prevented
+
+    def test_monotonic_misses_upward_flip(self, consumption):
+        assert not self._cell(consumption, "MonotonicPointers", "pfn-1flip-up").prevented
+
+    def test_ptguard_prevents_everything_tested(self, consumption):
+        ptguard_cells = [c for c in consumption if c.protection == "PT-Guard"]
+        assert ptguard_cells
+        assert all(c.prevented for c in ptguard_cells)
+
+    def test_every_prior_defense_has_a_gap(self, consumption):
+        """The motivating claim: each prior protection misses something."""
+        for protection in ("SecWalk", "MonotonicPointers"):
+            cells = [c for c in consumption if c.protection == protection]
+            assert any(not c.prevented for c in cells)

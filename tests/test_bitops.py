@@ -1,0 +1,120 @@
+"""Unit + property tests for repro.common.bitops."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common import bitops
+
+
+class TestMask:
+    def test_zero_width(self):
+        assert bitops.mask(0) == 0
+
+    def test_small(self):
+        assert bitops.mask(12) == 0xFFF
+
+    def test_large(self):
+        assert bitops.mask(96) == (1 << 96) - 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bitops.mask(-1)
+
+
+class TestBitExtraction:
+    def test_bit(self):
+        assert bitops.bit(0b1010, 1) == 1
+        assert bitops.bit(0b1010, 0) == 0
+
+    def test_bits_inclusive(self):
+        assert bitops.bits(0xABCD, 15, 12) == 0xA
+        assert bitops.bits(0xABCD, 3, 0) == 0xD
+
+    def test_bits_single(self):
+        assert bitops.bits(0b100, 2, 2) == 1
+
+    def test_bits_bad_range(self):
+        with pytest.raises(ValueError):
+            bitops.bits(0, 0, 1)
+
+
+class TestInsertBits:
+    def test_insert(self):
+        assert bitops.insert_bits(0, 15, 12, 0xA) == 0xA000
+
+    def test_insert_clears_old(self):
+        assert bitops.insert_bits(0xF000, 15, 12, 0x3) == 0x3000
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            bitops.insert_bits(0, 3, 0, 0x10)
+
+    def test_clear(self):
+        assert bitops.clear_bits(0xFFFF, 11, 4) == 0xF00F
+
+    @given(st.integers(0, 2**64 - 1), st.integers(0, 63), st.integers(0, 63))
+    def test_insert_then_extract_roundtrip(self, value, a, b):
+        high, low = max(a, b), min(a, b)
+        field = value & bitops.mask(high - low + 1)
+        combined = bitops.insert_bits(value, high, low, field)
+        assert bitops.bits(combined, high, low) == field
+
+
+class TestPopcountHamming:
+    def test_popcount(self):
+        assert bitops.popcount(0b1011) == 3
+
+    def test_hamming_symmetry(self):
+        assert bitops.hamming_distance(0b1100, 0b1010) == 2
+
+    @given(st.integers(0, 2**96 - 1), st.integers(0, 2**96 - 1))
+    def test_hamming_is_metric(self, a, b):
+        assert bitops.hamming_distance(a, b) == bitops.hamming_distance(b, a)
+        assert bitops.hamming_distance(a, a) == 0
+
+    @given(st.integers(0, 2**64 - 1), st.integers(0, 63))
+    def test_flip_changes_distance_by_one(self, value, position):
+        flipped = bitops.flip_bit(value, position)
+        assert bitops.hamming_distance(value, flipped) == 1
+        assert bitops.flip_bit(flipped, position) == value
+
+
+class TestRotations:
+    def test_rotl(self):
+        assert bitops.rotl(0b0001, 1, 4) == 0b0010
+        assert bitops.rotl(0b1000, 1, 4) == 0b0001
+
+    def test_rotr_inverse_of_rotl(self):
+        value = 0xDEADBEEF
+        assert bitops.rotr(bitops.rotl(value, 13, 32), 13, 32) == value
+
+    @given(st.integers(0, 2**16 - 1), st.integers(0, 64))
+    def test_rotl_full_cycle(self, value, amount):
+        assert bitops.rotl(value, 16, 16) == value
+        assert bitops.rotl(bitops.rotl(value, amount, 16), 16 - amount % 16, 16) == value
+
+
+class TestByteConversions:
+    @given(st.binary(min_size=1, max_size=64))
+    def test_bytes_roundtrip(self, data):
+        assert bitops.int_to_bytes(bitops.bytes_to_int(data), len(data)) == data
+
+    def test_little_endian(self):
+        assert bitops.bytes_to_int(b"\x01\x02") == 0x0201
+
+
+class TestPow2:
+    def test_is_pow2(self):
+        assert bitops.is_pow2(1)
+        assert bitops.is_pow2(4096)
+        assert not bitops.is_pow2(0)
+        assert not bitops.is_pow2(12)
+        assert not bitops.is_pow2(-4)
+
+    def test_log2_exact(self):
+        assert bitops.log2_exact(4096) == 12
+
+    def test_log2_rejects_non_pow2(self):
+        with pytest.raises(ValueError):
+            bitops.log2_exact(12)

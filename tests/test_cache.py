@@ -1,0 +1,145 @@
+"""Tests for the set-associative cache and its LRU behaviour."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import CacheConfig
+from repro.common.errors import ConfigurationError
+from repro.cache.cache import Cache
+
+SMALL = CacheConfig("test", size_bytes=4 * 64 * 2, associativity=2, hit_latency=1)
+# 4 sets x 2 ways x 64 B lines.
+
+
+def addr(set_index, tag):
+    return ((tag << 2) | set_index) << 6
+
+
+class TestConfig:
+    def test_geometry(self):
+        assert SMALL.num_sets == 4
+
+    def test_indivisible_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig("bad", size_bytes=100, associativity=3, hit_latency=1)
+
+
+class TestBasicOps:
+    def test_miss_then_hit(self):
+        cache = Cache(SMALL)
+        assert cache.lookup(addr(0, 1)) is None
+        cache.fill(addr(0, 1), b"a" * 64)
+        line = cache.lookup(addr(0, 1))
+        assert line is not None and line.data == b"a" * 64
+
+    def test_sets_isolate(self):
+        cache = Cache(SMALL)
+        cache.fill(addr(0, 1), b"a" * 64)
+        assert cache.lookup(addr(1, 1)) is None
+
+    def test_write_hit_dirties(self):
+        cache = Cache(SMALL)
+        cache.fill(addr(0, 1), b"a" * 64)
+        assert cache.write_hit(addr(0, 1), b"b" * 64)
+        line = cache.lookup(addr(0, 1))
+        assert line.dirty and line.data == b"b" * 64
+
+    def test_write_miss_returns_false(self):
+        cache = Cache(SMALL)
+        assert not cache.write_hit(addr(0, 1), b"b" * 64)
+
+    def test_refill_merges_dirty(self):
+        cache = Cache(SMALL)
+        cache.fill(addr(0, 1), b"a" * 64, dirty=True)
+        cache.fill(addr(0, 1), b"b" * 64)  # clean refill keeps dirty state
+        victim = cache.invalidate(addr(0, 1))
+        assert victim is not None and victim.data == b"b" * 64
+
+
+class TestLRU:
+    def test_lru_eviction_order(self):
+        cache = Cache(SMALL)
+        cache.fill(addr(0, 1), b"1" * 64)
+        cache.fill(addr(0, 2), b"2" * 64)
+        victim = cache.fill(addr(0, 3), b"3" * 64)
+        assert victim is not None and victim.address == addr(0, 1)
+
+    def test_lookup_refreshes_recency(self):
+        cache = Cache(SMALL)
+        cache.fill(addr(0, 1), b"1" * 64)
+        cache.fill(addr(0, 2), b"2" * 64)
+        cache.lookup(addr(0, 1))  # 1 becomes MRU
+        victim = cache.fill(addr(0, 3), b"3" * 64)
+        assert victim.address == addr(0, 2)
+
+    def test_clean_victim_not_dirty(self):
+        cache = Cache(SMALL)
+        cache.fill(addr(0, 1), b"1" * 64)
+        cache.fill(addr(0, 2), b"2" * 64)
+        victim = cache.fill(addr(0, 3), b"3" * 64)
+        assert not victim.dirty
+
+    def test_dirty_victim_flagged(self):
+        cache = Cache(SMALL)
+        cache.fill(addr(0, 1), b"1" * 64, dirty=True)
+        cache.fill(addr(0, 2), b"2" * 64)
+        victim = cache.fill(addr(0, 3), b"3" * 64)
+        assert victim.dirty and victim.data == b"1" * 64
+
+
+class TestMaintenance:
+    def test_invalidate_returns_dirty(self):
+        cache = Cache(SMALL)
+        cache.fill(addr(0, 1), b"1" * 64, dirty=True)
+        victim = cache.invalidate(addr(0, 1))
+        assert victim is not None and victim.dirty
+        assert cache.invalidate(addr(0, 1)) is None
+
+    def test_invalidate_clean_returns_none(self):
+        cache = Cache(SMALL)
+        cache.fill(addr(0, 1), b"1" * 64)
+        assert cache.invalidate(addr(0, 1)) is None
+        assert not cache.contains(addr(0, 1))
+
+    def test_flush_returns_all_dirty(self):
+        cache = Cache(SMALL)
+        cache.fill(addr(0, 1), b"1" * 64, dirty=True)
+        cache.fill(addr(1, 1), b"2" * 64)
+        cache.fill(addr(2, 1), b"3" * 64, dirty=True)
+        dirty = cache.flush_all()
+        assert {v.address for v in dirty} == {addr(0, 1), addr(2, 1)}
+        assert cache.resident_lines == 0
+
+
+class TestInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 30), st.booleans()), max_size=100))
+    def test_capacity_never_exceeded(self, operations):
+        """Property: no set ever holds more than `associativity` lines,
+        and fills always land."""
+        cache = Cache(SMALL)
+        for tag, dirty in operations:
+            cache.fill(addr(tag % 4, tag), bytes(64), dirty=dirty)
+            assert cache.contains(addr(tag % 4, tag))
+        assert cache.resident_lines <= 8
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 15), min_size=1, max_size=60))
+    def test_victim_plus_resident_conserve_lines(self, tags):
+        """Property: every fill's victim was resident immediately before."""
+        cache = Cache(SMALL)
+        resident = set()
+        for tag in tags:
+            address = addr(tag % 4, tag)
+            if cache.contains(address):
+                cache.fill(address, bytes(64))
+                continue
+            victim = cache.fill(address, bytes(64))
+            if victim is not None:
+                assert victim.address in resident
+                resident.discard(victim.address)
+            resident.add(address)
+        assert resident == {
+            a for a in resident if cache.contains(a)
+        }

@@ -1,0 +1,144 @@
+"""Tests for the memory controller (PT-Guard's seam)."""
+
+import pytest
+
+from repro.common.config import DRAMConfig, PTGuardConfig
+from repro.core import pattern
+from repro.core.guard import PTGuard
+from repro.dram.device import DRAMDevice
+from repro.mem.controller import MemoryController, MemoryRequest
+from repro.mem.memory import PhysicalMemory
+from repro.mmu.pte import make_x86_pte
+
+
+def make_controller(guard_config=None):
+    config = DRAMConfig()
+    memory = PhysicalMemory(config.size_bytes)
+    device = DRAMDevice(config, memory)
+    guard = PTGuard(guard_config, mac_algorithm="blake2") if guard_config else None
+    return MemoryController(device, guard), memory
+
+
+def pte_line():
+    return pattern.join_ptes([make_x86_pte(0x2E5F3 + i) for i in range(8)])
+
+
+class TestRequestValidation:
+    def test_alignment(self):
+        with pytest.raises(ValueError):
+            MemoryRequest(address=8, is_write=False)
+
+    def test_write_needs_payload(self):
+        with pytest.raises(ValueError):
+            MemoryRequest(address=0, is_write=True)
+        with pytest.raises(ValueError):
+            MemoryRequest(address=0, is_write=True, data=bytes(10))
+
+
+class TestBaseline:
+    def test_write_then_read(self):
+        controller, _ = make_controller()
+        controller.write_line(0x1000, bytes(range(64)))
+        response = controller.read_line(0x1000)
+        assert response.data == bytes(range(64))
+        assert response.latency_cycles > 0
+
+    def test_baseline_stores_raw_pte(self):
+        controller, memory = make_controller()
+        controller.write_line(0x1000, pte_line())
+        assert memory.read_line(0x1000) == pte_line()
+
+
+class TestGuarded:
+    def test_pte_stored_with_mac(self):
+        controller, memory = make_controller(PTGuardConfig())
+        controller.write_line(0x1000, pte_line())
+        stored = memory.read_line(0x1000)
+        assert stored != pte_line()
+        assert pattern.strip_mac(stored) == pte_line()
+
+    def test_pte_read_strips_and_adds_latency(self):
+        guard_config = PTGuardConfig(mac_latency_cycles=10)
+        controller, _ = make_controller(guard_config)
+        controller.write_line(0x1000, pte_line())
+        baseline, _ = make_controller()
+        baseline.write_line(0x1000, pte_line())
+        guarded = controller.read_line(0x1000, is_pte=True)
+        plain = baseline.read_line(0x1000)
+        assert guarded.data == pte_line()
+        # same DRAM state sequence => exactly +10 cycles of MAC latency
+        assert guarded.latency_cycles == plain.latency_cycles + 10
+
+    def test_tampered_pte_sets_check_failed(self):
+        controller, memory = make_controller(PTGuardConfig())
+        controller.write_line(0x1000, pte_line())
+        memory.flip_bit(0x1000, 13)
+        response = controller.read_line(0x1000, is_pte=True)
+        assert response.pte_check_failed
+        assert controller.stats.get("pte_check_failures") == 1
+
+    def test_correction_writes_back(self):
+        controller, memory = make_controller(PTGuardConfig(correction_enabled=True))
+        controller.write_line(0x1000, pte_line())
+        memory.flip_bit(0x1000, 13)
+        response = controller.read_line(0x1000, is_pte=True)
+        assert response.corrected and not response.pte_check_failed
+        assert controller.stats.get("correction_writebacks") == 1
+        # the scrub repaired DRAM: a further read verifies cleanly
+        again = controller.read_line(0x1000, is_pte=True)
+        assert not again.corrected and again.data == pte_line()
+
+
+class TestCoherence:
+    def test_listeners_notified_on_write(self):
+        dropped = []
+
+        class FakeCache:
+            def discard(self, address):
+                dropped.append(address)
+
+        controller, _ = make_controller()
+        cache = FakeCache()
+        controller.attach_coherent_cache(cache)
+        controller.write_line(0x2000, bytes(64))
+        assert dropped == [0x2000]
+
+    def test_origin_excluded(self):
+        dropped = []
+
+        class FakeCache:
+            def discard(self, address):
+                dropped.append(address)
+
+        controller, _ = make_controller()
+        cache = FakeCache()
+        controller.attach_coherent_cache(cache)
+        controller.access(
+            MemoryRequest(address=0x2000, is_write=True, data=bytes(64), origin=cache)
+        )
+        assert dropped == []
+
+
+class TestCTBOverflowPath:
+    def test_overflow_flags_rekey_required(self):
+        config = PTGuardConfig(ctb_entries=1)
+        controller, _ = make_controller(config)
+        guard = controller.ptguard
+
+        def colliding(address, seed):
+            import random
+
+            base = bytearray(random.Random(seed).randbytes(64))
+            for index in range(8):
+                base[index * 8 + 5] = 0
+                base[index * 8 + 6] &= 0xF0
+            tag = guard.engine.compute(bytes(base), address)
+            line = pattern.embed_mac(bytes(base), tag)
+            assert not pattern.matches_pattern(line)
+            return line
+
+        first = controller.write_line(0x0, colliding(0x0, 1))
+        assert not first.rekey_required
+        second = controller.write_line(0x40, colliding(0x40, 2))
+        assert second.rekey_required
+        assert controller.stats.get("ctb_overflows") == 1

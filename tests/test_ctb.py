@@ -1,0 +1,65 @@
+"""Tests for the Collision Tracking Buffer (Sec IV-D, VII-B)."""
+
+import pytest
+
+from repro.common.errors import CollisionBufferOverflow
+from repro.core.ctb import CollisionTrackingBuffer
+
+
+class TestBasics:
+    def test_insert_and_lookup(self):
+        ctb = CollisionTrackingBuffer()
+        ctb.insert(0x1000)
+        assert ctb.contains(0x1000)
+        assert not ctb.contains(0x2000)
+
+    def test_duplicate_insert_is_idempotent(self):
+        ctb = CollisionTrackingBuffer()
+        ctb.insert(0x1000)
+        ctb.insert(0x1000)
+        assert len(ctb) == 1
+
+    def test_remove(self):
+        ctb = CollisionTrackingBuffer()
+        ctb.insert(0x1000)
+        ctb.remove(0x1000)
+        assert not ctb.contains(0x1000)
+
+    def test_remove_absent_is_noop(self):
+        CollisionTrackingBuffer().remove(0x1000)
+
+    def test_capacity_positive(self):
+        with pytest.raises(ValueError):
+            CollisionTrackingBuffer(0)
+
+
+class TestOverflow:
+    def test_overflow_at_capacity(self):
+        ctb = CollisionTrackingBuffer(capacity=4)
+        for i in range(4):
+            ctb.insert(0x1000 + 64 * i)
+        with pytest.raises(CollisionBufferOverflow):
+            ctb.insert(0x9000)
+        assert ctb.stats.get("overflows") == 1
+
+    def test_clear_resets(self):
+        ctb = CollisionTrackingBuffer(capacity=2)
+        ctb.insert(1 * 64)
+        ctb.insert(2 * 64)
+        ctb.clear()
+        assert len(ctb) == 0
+        ctb.insert(3 * 64)  # usable again after re-key
+
+
+class TestPaperBudget:
+    def test_sram_cost_is_20_bytes(self):
+        """4 entries x 5-byte line address = the paper's 20-byte CTB."""
+        assert CollisionTrackingBuffer(4).sram_bytes == 20
+
+    def test_stats_track_lookups(self):
+        ctb = CollisionTrackingBuffer()
+        ctb.insert(64)
+        ctb.contains(64)
+        ctb.contains(128)
+        assert ctb.stats.get("lookups") == 2
+        assert ctb.stats.get("hits") == 1

@@ -1,0 +1,36 @@
+"""Tests for the DoS / OS-response analysis (Sec IV-G discussion)."""
+
+import pytest
+
+from repro.analysis.dos_eval import DoSExperiment, compare_policies
+
+
+class TestPolicies:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            DoSExperiment("ignore_it")
+
+    def test_kill_victim_causes_repeated_kills(self):
+        outcome = DoSExperiment("kill_victim", rounds=10).run()
+        assert outcome.victim_kills >= 3  # the DoS the paper warns about
+        assert outcome.availability < 1.0
+
+    def test_remap_restores_service(self):
+        outcome = DoSExperiment("remap_victim", rounds=10).run()
+        assert outcome.remaps > 0
+        # Remapping converts most kills into successful retries.
+        assert outcome.successful_accesses > outcome.victim_kills
+
+    def test_kill_aggressor_ends_the_attack(self):
+        outcome = DoSExperiment("kill_aggressor", rounds=10).run()
+        assert outcome.attacker_killed
+        assert outcome.successful_accesses >= 10  # clean runs afterwards
+
+    def test_compare_policies_ranks_as_expected(self):
+        """Naive kill-the-victim is the worst response (the DoS the paper
+        warns about); remapping or removing the aggressor restores
+        availability."""
+        outcomes = {o.policy: o for o in compare_policies(rounds=10)}
+        worst = outcomes["kill_victim"].availability
+        assert outcomes["remap_victim"].availability > worst + 0.3
+        assert outcomes["kill_aggressor"].availability > worst + 0.3

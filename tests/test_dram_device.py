@@ -1,0 +1,139 @@
+"""Tests for the DRAM device: timing, activations, flips, refresh."""
+
+import pytest
+
+from repro.common.config import DRAMConfig
+from repro.dram.device import DRAMDevice
+from repro.dram.rowhammer import RowhammerProfile
+from repro.mem.memory import PhysicalMemory
+
+
+def make_device(profile=None):
+    config = DRAMConfig()
+    memory = PhysicalMemory(config.size_bytes)
+    return DRAMDevice(config, memory, rowhammer_profile=profile)
+
+
+class TestRowBufferTiming:
+    def test_first_access_is_row_miss(self):
+        device = make_device()
+        latency = device.access(0, is_write=False)
+        assert latency == device.config.timing.row_miss_cycles
+
+    def test_second_access_same_row_hits(self):
+        device = make_device()
+        device.access(0, is_write=False)
+        latency = device.access(64, is_write=False)
+        assert latency == device.config.timing.row_hit_cycles
+
+    def test_other_row_conflicts(self):
+        device = make_device()
+        device.access(0, is_write=False)
+        far = device.mapper.row_base_address((0, 0, 0, 500))
+        latency = device.access(far, is_write=False)
+        assert latency == device.config.timing.row_conflict_cycles
+
+    def test_banks_independent(self):
+        device = make_device()
+        device.access(0, is_write=False)
+        other_bank = device.mapper.row_base_address((0, 0, 1, 0))
+        latency = device.access(other_bank, is_write=False)
+        assert latency == device.config.timing.row_miss_cycles
+
+    def test_latency_ordering(self):
+        timing = DRAMConfig().timing
+        assert timing.row_hit_cycles < timing.row_miss_cycles < timing.row_conflict_cycles
+
+
+class TestActivationAccounting:
+    def test_row_hits_do_not_activate(self):
+        device = make_device(RowhammerProfile.scaled())
+        device.access(0, is_write=False)
+        for _ in range(10):
+            device.access(64, is_write=False)
+        assert device.stats.get("activations") == 1
+
+    def test_conflicts_activate(self):
+        device = make_device(RowhammerProfile.scaled())
+        a = device.mapper.row_base_address((0, 0, 0, 10))
+        b = device.mapper.row_base_address((0, 0, 0, 500))
+        for _ in range(5):
+            device.access(a, is_write=False)
+            device.access(b, is_write=False)
+        assert device.stats.get("activations") == 10
+
+
+class TestFlipMaterialisation:
+    def test_hammering_flips_bits_in_memory(self):
+        profile = RowhammerProfile("hot", threshold=50, flip_probability=0.05)
+        device = make_device(profile)
+        victim_row = (0, 0, 0, 100)
+        # Give the victim non-zero content so true cells can discharge.
+        for address in device.addresses_in_row(victim_row):
+            device.memory.write_line(address, b"\xa5" * 64)
+        before = [device.memory.read_line(a) for a in device.addresses_in_row(victim_row)]
+        aggressor_up = device.mapper.row_base_address((0, 0, 0, 99))
+        aggressor_down = device.mapper.row_base_address((0, 0, 0, 101))
+        for _ in range(60):
+            device.access(aggressor_up, is_write=False)
+            device.access(aggressor_down, is_write=False)
+        after = [device.memory.read_line(a) for a in device.addresses_in_row(victim_row)]
+        assert before != after
+        assert device.stats.get("bit_flips") > 0
+        flipped_rows = {f.row_key for f in device.bit_flips}
+        assert victim_row in flipped_rows
+        # collateral flips stay within the aggressors' blast radius
+        assert all(97 <= row[3] <= 103 for row in flipped_rows)
+
+    def test_invulnerable_module_never_flips(self):
+        device = make_device(RowhammerProfile.invulnerable())
+        a = device.mapper.row_base_address((0, 0, 0, 99))
+        b = device.mapper.row_base_address((0, 0, 0, 101))
+        for _ in range(500):
+            device.access(a, is_write=False)
+            device.access(b, is_write=False)
+        assert device.bit_flips == []
+
+
+class TestRefresh:
+    def test_refresh_window_rearms_model(self):
+        profile = RowhammerProfile("hot", threshold=50, flip_probability=0.02)
+        device = make_device(profile)
+        a = device.mapper.row_base_address((0, 0, 0, 99))
+        b = device.mapper.row_base_address((0, 0, 0, 200))
+        for _ in range(40):
+            device.access(a, is_write=False)
+            device.access(b, is_write=False)
+        device.refresh_window()
+        assert device.rowhammer.disturbance((0, 0, 0, 100)) == 0.0
+
+    def test_tick_triggers_window(self):
+        device = make_device(RowhammerProfile.scaled())
+        device.tick(0)
+        device.tick(int(0.065 * 3e9))
+        assert device.stats.get("refresh_windows") == 1
+
+
+class TestMitigationHook:
+    def test_policy_receives_activations_and_refreshes(self):
+        calls = []
+
+        class Recorder:
+            name = "recorder"
+
+            def on_activation(self, row_key, cycle):
+                calls.append(row_key)
+                return [(0, 0, 0, 7)]
+
+            def on_refresh_window(self):
+                calls.append("window")
+
+        config = DRAMConfig()
+        memory = PhysicalMemory(config.size_bytes)
+        device = DRAMDevice(config, memory, rowhammer_profile=RowhammerProfile.scaled(),
+                            mitigation=Recorder())
+        device.access(0, is_write=False)
+        assert calls and calls[0] == (0, 0, 0, 0)
+        assert device.stats.get("mitigation_refreshes") == 1
+        device.refresh_window()
+        assert calls[-1] == "window"

@@ -1,0 +1,202 @@
+"""Tests for the MAC engine (soft match) and the correction engine."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import pattern
+from repro.core.correction import FLAG_BITS, CorrectionEngine
+from repro.core.engine import MACEngine
+from repro.crypto.mac import Blake2LineMAC
+from repro.mmu.pte import make_x86_pte
+
+ADDRESS = 0x40000
+
+
+@pytest.fixture()
+def engine():
+    return MACEngine(Blake2LineMAC(bytes(range(32))), max_phys_bits=40, soft_match_k=4)
+
+
+def stored_pte_line(engine, base_pfn=0x2E5F3, present=8, contiguous=True):
+    """A realistic protected PTE line. The default PFN is bit-dense so
+    present entries stay above the almost-zero threshold (real PFNs on a
+    loaded machine are similarly dense)."""
+    ptes = []
+    for i in range(8):
+        if i < present:
+            pfn = base_pfn + i if contiguous else base_pfn + 37 * i + 11
+            ptes.append(make_x86_pte(pfn, user=True))
+        else:
+            ptes.append(0)
+    line = pattern.join_ptes(ptes)
+    tag = engine.compute(line, ADDRESS)
+    return pattern.embed_mac(line, tag), line
+
+
+class TestMACEngine:
+    def test_mac_ignores_metadata_fields(self, engine):
+        line = pattern.join_ptes([make_x86_pte(i) for i in range(8)])
+        with_mac = pattern.embed_mac(line, 0xABC)
+        assert engine.compute(line, ADDRESS) == engine.compute(with_mac, ADDRESS)
+
+    def test_mac_ignores_accessed_bit(self, engine):
+        line = pattern.join_ptes([make_x86_pte(i) for i in range(8)])
+        accessed = bytearray(line)
+        accessed[0] |= 1 << 5
+        assert engine.compute(line, ADDRESS) == engine.compute(bytes(accessed), ADDRESS)
+
+    def test_mac_covers_pfn_and_flags(self, engine):
+        line = pattern.join_ptes([make_x86_pte(i) for i in range(8)])
+        for bit in (0, 2, 12, 39, 59, 63):
+            tampered = bytearray(line)
+            tampered[bit // 8] ^= 1 << (bit % 8)
+            assert engine.compute(line, ADDRESS) != engine.compute(bytes(tampered), ADDRESS)
+
+    def test_exact_verify(self, engine):
+        line = bytes(64)
+        tag = engine.compute(line, ADDRESS)
+        assert engine.verify(line, ADDRESS, tag).ok
+        assert not engine.verify(line, ADDRESS, tag ^ 1).ok
+
+    def test_soft_verify_tolerates_k_bits(self, engine):
+        line = bytes(64)
+        tag = engine.compute(line, ADDRESS)
+        damaged = tag ^ 0b1111  # 4 flipped MAC bits
+        result = engine.verify(line, ADDRESS, damaged, soft=True)
+        assert result.ok and result.soft and result.distance == 4
+
+    def test_soft_verify_rejects_k_plus_one(self, engine):
+        line = bytes(64)
+        tag = engine.compute(line, ADDRESS)
+        damaged = tag ^ 0b11111  # 5 flips > k=4
+        assert not engine.verify(line, ADDRESS, damaged, soft=True).ok
+
+    def test_zero_mac_is_address_free(self, engine):
+        assert engine.compute_zero_mac() == engine.line_mac.compute(bytes(64), 0)
+
+
+class TestCorrectionBudget:
+    def test_gmax_372(self, engine):
+        assert CorrectionEngine(engine).max_guesses == 372
+
+
+class TestCorrectionStrategies:
+    def _correct(self, engine, faulty):
+        return CorrectionEngine(engine).correct(faulty, ADDRESS)
+
+    def test_clean_line_soft_matches_immediately(self, engine):
+        stored, _ = stored_pte_line(engine)
+        result = self._correct(engine, stored)
+        assert result.winning_step == "soft_match"
+        assert result.guesses_used == 1
+
+    def test_mac_fault_soft_match(self, engine):
+        stored, logical = stored_pte_line(engine)
+        faulty = bytearray(stored)
+        faulty[5] ^= 0x01  # bit 40 of PTE 0: MAC field
+        result = self._correct(engine, bytes(faulty))
+        assert result.winning_step == "soft_match"
+        assert pattern.strip_mac(result.corrected_line) == logical
+
+    def test_single_data_flip(self, engine):
+        stored, logical = stored_pte_line(engine)
+        faulty = bytearray(stored)
+        faulty[2] ^= 0x10  # PFN bit of PTE 0
+        result = self._correct(engine, bytes(faulty))
+        assert result.winning_step == "flip_and_check"
+        assert pattern.strip_mac(result.corrected_line) == logical
+
+    def test_zero_pte_reset(self, engine):
+        stored, logical = stored_pte_line(engine, present=3)
+        faulty = bytearray(stored)
+        faulty[7 * 8 + 1] ^= 0x04  # flip inside a zero PTE
+        faulty[6 * 8 + 2] ^= 0x08  # and another zero PTE
+        result = self._correct(engine, bytes(faulty))
+        assert result.corrected_line is not None
+        assert pattern.strip_mac(result.corrected_line) == logical
+        assert result.winning_step in ("reset_zero_ptes", "flag_majority",
+                                       "pfn_contiguity", "flags_plus_contiguity")
+
+    def test_flag_majority(self, engine):
+        stored, logical = stored_pte_line(engine)
+        faulty = bytearray(stored)
+        faulty[0 * 8] ^= 0x02  # writable flag, PTE 0
+        faulty[3 * 8] ^= 0x04  # user flag, PTE 3
+        result = self._correct(engine, bytes(faulty))
+        assert result.corrected_line is not None
+        assert pattern.strip_mac(result.corrected_line) == logical
+        assert result.winning_step == "flag_majority"
+
+    def test_pfn_contiguity(self, engine):
+        stored, logical = stored_pte_line(engine)
+        faulty = bytearray(stored)
+        faulty[1 * 8 + 1] ^= 0x20  # PFN low bit, PTE 1
+        faulty[5 * 8 + 1] ^= 0x40  # PFN low bit, PTE 5
+        result = self._correct(engine, bytes(faulty))
+        assert result.corrected_line is not None
+        assert pattern.strip_mac(result.corrected_line) == logical
+        assert result.winning_step in ("pfn_contiguity", "flags_plus_contiguity")
+
+    def test_combined_flags_and_pfn(self, engine):
+        stored, logical = stored_pte_line(engine)
+        faulty = bytearray(stored)
+        faulty[2 * 8] ^= 0x02  # flag PTE 2
+        faulty[6 * 8 + 1] ^= 0x20  # PFN low bit PTE 6
+        result = self._correct(engine, bytes(faulty))
+        assert result.corrected_line is not None
+        assert pattern.strip_mac(result.corrected_line) == logical
+
+    def test_noncontiguous_multibit_uncorrectable(self, engine):
+        """Random PFNs + multi-PTE PFN damage: no strategy applies."""
+        stored, _ = stored_pte_line(engine, contiguous=False)
+        faulty = bytearray(stored)
+        faulty[1 * 8 + 2] ^= 0x10
+        faulty[5 * 8 + 3] ^= 0x40
+        result = self._correct(engine, bytes(faulty))
+        assert result.corrected_line is None
+        assert result.guesses_used == CorrectionEngine(engine).max_guesses
+
+    def test_identifier_restoration(self, engine):
+        correction = CorrectionEngine(engine, identifier=0x55AA55AA55AA55 >> 2)
+        ident = correction.identifier
+        line = pattern.join_ptes([make_x86_pte(0x100 + i) for i in range(8)])
+        tag = engine.compute(line, ADDRESS)
+        stored = pattern.embed_identifier(pattern.embed_mac(line, tag), ident)
+        faulty = bytearray(stored)
+        faulty[6] ^= 0x20  # bit 53: identifier field
+        result = correction.correct(bytes(faulty), ADDRESS)
+        assert result.corrected_line is not None
+        assert pattern.extract_identifier(result.corrected_line) == ident
+
+
+class TestNoMiscorrection:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 2**32 - 1))
+    def test_accepted_guess_is_always_the_truth(self, seed):
+        """Property: whenever correction accepts a guess, the protected
+        content equals the pre-fault original (MAC collisions are the only
+        escape and are ~2^-66)."""
+        rng = random.Random(seed)
+        engine = MACEngine(
+            Blake2LineMAC(bytes(range(32))), max_phys_bits=40, soft_match_k=4
+        )
+        base = 0x2E000 + rng.randrange(1 << 12) | 0x551
+        stored, logical = stored_pte_line(engine, base_pfn=base,
+                                          present=rng.randint(1, 8))
+        faulty = bytearray(stored)
+        for _ in range(rng.randint(1, 5)):
+            faulty[rng.randrange(64)] ^= 1 << rng.randrange(8)
+        result = CorrectionEngine(engine).correct(bytes(faulty), ADDRESS)
+        if result.corrected_line is not None:
+            assert pattern.mask_unprotected(result.corrected_line, 40) == \
+                pattern.mask_unprotected(logical, 40)
+
+
+class TestFlagBits:
+    def test_sixteen_protected_flag_bits(self):
+        assert len(FLAG_BITS) == 16
+        assert 5 not in FLAG_BITS
+        assert 63 in FLAG_BITS

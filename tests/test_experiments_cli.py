@@ -1,0 +1,53 @@
+"""Tests for the experiment harness and CLI runner."""
+
+import pytest
+
+from repro.harness.experiments import (
+    EXPERIMENTS,
+    experiment_security_analysis,
+    experiment_storage,
+    experiment_tables_1_2,
+)
+from repro.harness.runner import main
+
+
+class TestRegistry:
+    def test_every_design_md_experiment_registered(self):
+        """The DESIGN.md index maps to these harness entries."""
+        for key in ("tables12", "fig6", "fig7", "fig8", "fig9",
+                    "security", "storage", "attacks", "multicore"):
+            assert key in EXPERIMENTS
+
+    def test_entries_are_callables(self):
+        assert all(callable(fn) for fn in EXPERIMENTS.values())
+
+
+class TestCheapExperiments:
+    def test_tables12_contains_both_layouts(self):
+        report = experiment_tables_1_2()
+        assert "x86_64" in report and "ARMv8" in report
+        assert "pfn" in report and "protection_keys" in report
+        assert "execute_never" in report
+
+    def test_security_reports_paper_numbers(self):
+        report = experiment_security_analysis()
+        assert "(paper: 4)" in report
+        assert "65.7" in report or "66" in report
+
+    def test_storage_budgets(self):
+        report = experiment_storage()
+        assert "52" in report and "71" in report
+
+
+class TestCLI:
+    def test_runner_executes_experiment(self, capsys):
+        assert main(["storage"]) == 0
+        out = capsys.readouterr().out
+        assert "SRAM" in out and "[storage:" in out
+
+    def test_runner_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_scale_flag_parsed(self, capsys):
+        assert main(["security", "--scale", "2.0"]) == 0

@@ -1,0 +1,77 @@
+"""Tests for DRAM address mapping."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import DRAMConfig
+from repro.dram.geometry import AddressMapper, DRAMCoordinate
+
+
+@pytest.fixture(scope="module")
+def mapper():
+    return AddressMapper(DRAMConfig())  # 4 GB, 1 ch, 1 rank, 16 banks, 8 KB rows
+
+
+class TestRoundTrip:
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(0, 4 * 2**30 - 1))
+    def test_decompose_compose(self, address):
+        mapper = AddressMapper(DRAMConfig())
+        coordinate = mapper.decompose(address)
+        offset = address & 63
+        assert mapper.compose(coordinate, offset) == address
+
+    def test_out_of_range(self, mapper):
+        with pytest.raises(ValueError):
+            mapper.decompose(4 * 2**30)
+
+    @given(st.integers(0, 4 * 2**30 - 1))
+    def test_fast_row_key_agrees(self, address):
+        mapper = AddressMapper(DRAMConfig())
+        assert mapper.row_key_of(address) == mapper.decompose(address).row_key
+
+
+class TestStructure:
+    def test_consecutive_lines_same_row(self, mapper):
+        a = mapper.decompose(0)
+        b = mapper.decompose(64)
+        assert a.row_key == b.row_key
+        assert b.column == a.column + 1
+
+    def test_row_capacity(self, mapper):
+        assert mapper.lines_per_row == 8192 // 64
+
+    def test_row_addresses_cover_row(self, mapper):
+        row_key = mapper.decompose(0).row_key
+        addresses = mapper.row_addresses(row_key)
+        assert len(addresses) == mapper.lines_per_row
+        assert len(set(addresses)) == len(addresses)
+        for address in addresses:
+            assert mapper.decompose(address).row_key == row_key
+
+    def test_row_base_address_matches_list(self, mapper):
+        row_key = (0, 0, 3, 77)
+        assert mapper.row_base_address(row_key) == mapper.row_addresses(row_key)[0]
+
+    def test_address_bits_consistent(self, mapper):
+        assert 1 << mapper.address_bits == 4 * 2**30
+
+
+class TestNeighbors:
+    def test_middle_row(self, mapper):
+        neighbors = mapper.neighbor_rows((0, 0, 0, 100), 1)
+        assert neighbors == [(0, 0, 0, 99), (0, 0, 0, 101)]
+
+    def test_distance_two(self, mapper):
+        neighbors = mapper.neighbor_rows((0, 0, 0, 100), 2)
+        assert neighbors == [(0, 0, 0, 98), (0, 0, 0, 102)]
+
+    def test_edge_rows_clipped(self, mapper):
+        assert mapper.neighbor_rows((0, 0, 0, 0), 1) == [(0, 0, 0, 1)]
+        last = DRAMConfig().rows_per_bank - 1
+        assert mapper.neighbor_rows((0, 0, 0, last), 1) == [(0, 0, 0, last - 1)]
+
+    def test_neighbors_stay_in_bank(self, mapper):
+        for neighbor in mapper.neighbor_rows((0, 0, 5, 50), 1):
+            assert neighbor[:3] == (0, 0, 5)

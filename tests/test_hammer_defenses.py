@@ -1,0 +1,184 @@
+"""Tests for hammer patterns and the prior-defense implementations."""
+
+import pytest
+
+from repro.attacks.defenses import (
+    PARA,
+    TRR,
+    CompositeMitigation,
+    CounterTRR,
+    MonotonicPlacement,
+    SecWalkChecker,
+    SoftTRR,
+)
+from repro.attacks.hammer import HammerAttack
+from repro.dram.rowhammer import RowhammerProfile
+from repro.harness.system import build_system
+
+PROFILE = RowhammerProfile("test", threshold=100, flip_probability=0.05)
+VICTIM = 1000
+
+
+def make_attack(mitigation=None):
+    system = build_system(rowhammer=PROFILE, seed=4)
+    system.dram.mitigation = mitigation
+    for address in system.dram.addresses_in_row((0, 0, 0, VICTIM)):
+        system.memory.write_line(address, b"\x5a" * 64)
+    return system, HammerAttack(system.dram)
+
+
+class TestPatterns:
+    def test_double_sided_flips_at_threshold(self):
+        system, attack = make_attack()
+        report = attack.double_sided(VICTIM, iterations=80)
+        assert report.activations == 160
+        assert any(f.row_key == (0, 0, 0, VICTIM) for f in report.flips)
+
+    def test_below_threshold_no_flips(self):
+        system, attack = make_attack()
+        report = attack.double_sided(VICTIM, iterations=40)  # 80 < 100
+        assert report.flips == []
+
+    def test_single_sided_needs_double_activations(self):
+        system, attack = make_attack()
+        report = attack.single_sided(VICTIM, iterations=99)
+        assert not any(f.row_key == (0, 0, 0, VICTIM) for f in report.flips)
+        report = attack.single_sided(VICTIM, iterations=30)
+        system2, attack2 = make_attack()
+        report2 = attack2.single_sided(VICTIM, iterations=110)
+        assert any(f.row_key == (0, 0, 0, VICTIM) for f in report2.flips)
+
+    def test_many_sided_activation_count(self):
+        system, attack = make_attack()
+        report = attack.many_sided(VICTIM, iterations=10, aggressors=9)
+        assert report.activations == 90
+
+    def test_half_double_alone_harmless(self):
+        system, attack = make_attack()
+        report = attack.half_double(VICTIM, iterations=500)
+        assert not any(f.row_key == (0, 0, 0, VICTIM) for f in report.flips)
+
+    def test_flip_directions_respect_content(self):
+        system, attack = make_attack()
+        report = attack.double_sided(VICTIM, iterations=200)
+        victim_flips = [f for f in report.flips if f.row_key == (0, 0, 0, VICTIM)]
+        directions = {f.direction for f in victim_flips}
+        assert directions == {"1->0", "0->1"}  # 0x5a has both polarities
+
+
+class TestPARA:
+    def test_protects_double_sided(self):
+        system, attack = make_attack(PARA(0.05, 524288 // 8192 * 16 * 0 + 32768))
+        report = attack.double_sided(VICTIM, iterations=400)
+        assert not any(f.row_key == (0, 0, 0, VICTIM) for f in report.flips)
+
+    def test_probability_bounds(self):
+        with pytest.raises(ValueError):
+            PARA(1.5, 100)
+
+
+class TestTRR:
+    def test_protects_double_sided(self):
+        system, attack = make_attack(
+            TRR(rows_per_bank=32768, sampler_size=4, mitigation_interval=25)
+        )
+        report = attack.double_sided(VICTIM, iterations=400)
+        assert not any(f.row_key == (0, 0, 0, VICTIM) for f in report.flips)
+
+    def test_many_sided_overflows_sampler(self):
+        system, attack = make_attack(
+            TRR(rows_per_bank=32768, sampler_size=4, mitigation_interval=25)
+        )
+        report = attack.many_sided(VICTIM, iterations=150, aggressors=9)
+        assert report.flips  # some enclosed victim flipped
+
+    def test_half_double_weaponises_refreshes(self):
+        system, attack = make_attack(
+            TRR(rows_per_bank=32768, sampler_size=4, mitigation_interval=25)
+        )
+        report = attack.half_double(VICTIM, iterations=1500)
+        assert any(f.row_key == (0, 0, 0, VICTIM) for f in report.flips)
+
+
+class TestCounterTRR:
+    def test_precise_counting_blocks_many_sided(self):
+        system, attack = make_attack(
+            CounterTRR(rows_per_bank=32768, design_threshold=12)
+        )
+        report = attack.many_sided(VICTIM, iterations=150, aggressors=9)
+        assert not report.flips
+
+    def test_low_threshold_module_breaks_it(self):
+        """Design threshold assumed RTH 400, module flips at 100."""
+        system, attack = make_attack(
+            CounterTRR(rows_per_bank=32768, design_threshold=200)
+        )
+        report = attack.double_sided(VICTIM, iterations=300)
+        assert any(f.row_key == (0, 0, 0, VICTIM) for f in report.flips)
+
+
+class TestSoftTRR:
+    def test_protects_registered_pte_row_distance_one(self):
+        defense = SoftTRR(rows_per_bank=32768, design_threshold=12)
+        defense.register_pte_row((0, 0, 0, VICTIM))
+        system, attack = make_attack(defense)
+        report = attack.double_sided(VICTIM, iterations=400)
+        assert not any(f.row_key == (0, 0, 0, VICTIM) for f in report.flips)
+
+    def test_unregistered_rows_not_protected(self):
+        defense = SoftTRR(rows_per_bank=32768, design_threshold=12)
+        system, attack = make_attack(defense)
+        report = attack.double_sided(VICTIM, iterations=400)
+        assert any(f.row_key == (0, 0, 0, VICTIM) for f in report.flips)
+
+
+class TestComposite:
+    def test_layers_union(self):
+        soft = SoftTRR(rows_per_bank=32768, design_threshold=12)
+        trr = TRR(rows_per_bank=32768, sampler_size=4, mitigation_interval=25)
+        composite = CompositeMitigation(soft, trr)
+        assert composite.name == "SoftTRR+TRR"
+        soft.register_pte_row((0, 0, 0, VICTIM))
+        system, attack = make_attack(composite)
+        report = attack.double_sided(VICTIM, iterations=400)
+        assert not any(f.row_key == (0, 0, 0, VICTIM) for f in report.flips)
+        assert composite.refreshes_issued > 0
+
+
+class TestSecWalk:
+    def test_detects_up_to_four(self):
+        checker = SecWalkChecker()
+        assert checker.check(0b1111, 0b0111).detected
+        assert checker.check(0b1111, 0b0000).detected
+
+    def test_misses_five(self):
+        checker = SecWalkChecker()
+        assert not checker.check(0b11111, 0b00000).detected
+
+    def test_clean_is_not_detection(self):
+        assert not SecWalkChecker().check(42, 42).detected
+
+
+class TestMonotonic:
+    def test_blocks_downward_pfn(self):
+        placement = MonotonicPlacement(watermark_pfn=0x1000)
+        original = 0x2000 << 12 | 1
+        tampered = 0x0000 << 12 | 1
+        assert placement.exploit_prevented(original, tampered, 0).detected
+
+    def test_misses_metadata(self):
+        placement = MonotonicPlacement(watermark_pfn=0x1000)
+        original = 0x2000 << 12 | 1
+        tampered = original | 0b100  # user bit
+        assert not placement.exploit_prevented(original, tampered, 0x2000).detected
+
+    def test_misses_upward_anti_cell_flip(self):
+        placement = MonotonicPlacement(watermark_pfn=0x1000)
+        original = 0x0800 << 12 | 1
+        tampered = 0x1800 << 12 | 1
+        assert not placement.exploit_prevented(original, tampered, 0x1800).detected
+
+    def test_placement_check(self):
+        placement = MonotonicPlacement(watermark_pfn=0x1000)
+        assert placement.placement_ok(0x1800)
+        assert not placement.placement_ok(0x800)

@@ -1,0 +1,180 @@
+"""Tests for the OS substrate (kernel, processes, demand paging)."""
+
+import pytest
+
+from repro.common.config import PAGE_BYTES, PTGuardConfig
+from repro.common.errors import PageFaultError
+from repro.core import pattern
+from repro.harness.system import build_system
+from repro.mmu.pte import X86PageTableEntry
+from repro.mmu.walker import PTEIntegrityException
+
+
+@pytest.fixture()
+def system():
+    return build_system()
+
+
+@pytest.fixture()
+def guarded():
+    return build_system(ptguard=PTGuardConfig())
+
+
+class TestProcessLifecycle:
+    def test_create_assigns_unique_pids(self, system):
+        a = system.kernel.create_process("a")
+        b = system.kernel.create_process("b")
+        assert a.pid != b.pid
+
+    def test_root_table_is_zeroed_through_controller(self, guarded):
+        """Table pages must cross the guard so their lines carry MACs —
+        a walk of an empty line then passes its integrity check."""
+        process = guarded.kernel.create_process("p")
+        root_line = guarded.memory.read_line(process.page_table.root_pfn * PAGE_BYTES)
+        assert root_line != bytes(64)  # MAC embedded, not raw zeros
+        assert pattern.strip_mac(root_line) == bytes(64)
+
+    def test_destroy_frees_everything(self, system):
+        kernel = system.kernel
+        before = kernel.allocator.free_pages_count
+        process = kernel.create_process("p")
+        vma = kernel.mmap(process, 16, populate=True)
+        assert kernel.allocator.free_pages_count < before
+        kernel.destroy_process(process)
+        assert kernel.allocator.free_pages_count == before
+
+
+class TestDemandPaging:
+    def test_fault_allocates_and_maps(self, system):
+        kernel = system.kernel
+        process = kernel.create_process("p")
+        vma = kernel.mmap(process, 4)
+        assert process.resident_pages == 0
+        pfn = kernel.handle_page_fault(process, vma.start)
+        assert process.resident_pages == 1
+        assert process.page_table.translate(vma.start) == pfn * PAGE_BYTES
+
+    def test_fault_idempotent(self, system):
+        kernel = system.kernel
+        process = kernel.create_process("p")
+        vma = kernel.mmap(process, 4)
+        first = kernel.handle_page_fault(process, vma.start)
+        second = kernel.handle_page_fault(process, vma.start)
+        assert first == second
+
+    def test_segv_outside_vma(self, system):
+        kernel = system.kernel
+        process = kernel.create_process("p")
+        with pytest.raises(PageFaultError):
+            kernel.handle_page_fault(process, 0xDEAD000)
+
+    def test_access_virtual_faults_transparently(self, system):
+        kernel = system.kernel
+        process = kernel.create_process("p")
+        vma = kernel.mmap(process, 4)
+        physical = kernel.access_virtual(process, vma.start + 5)
+        assert physical % PAGE_BYTES == 5
+
+    def test_vma_overlap_rejected(self, system):
+        kernel = system.kernel
+        process = kernel.create_process("p")
+        kernel.mmap(process, 4, at=0x10000)
+        with pytest.raises(ValueError):
+            kernel.mmap(process, 4, at=0x12000)
+
+
+class TestVirtualIO:
+    def test_write_read_roundtrip(self, system):
+        kernel = system.kernel
+        process = kernel.create_process("p")
+        vma = kernel.mmap(process, 4)
+        payload = bytes(range(256)) * 20  # crosses pages
+        kernel.write_virtual(process, vma.start + 100, payload)
+        assert kernel.read_virtual(process, vma.start + 100, len(payload)) == payload
+
+    def test_isolation_between_processes(self, system):
+        kernel = system.kernel
+        a = kernel.create_process("a")
+        b = kernel.create_process("b")
+        vma_a = kernel.mmap(a, 2)
+        vma_b = kernel.mmap(b, 2)
+        kernel.write_virtual(a, vma_a.start, b"AAAA")
+        kernel.write_virtual(b, vma_b.start, b"BBBB")
+        assert kernel.read_virtual(a, vma_a.start, 4) == b"AAAA"
+        assert kernel.read_virtual(b, vma_b.start, 4) == b"BBBB"
+        assert a.frames[vma_a.start >> 12] != b.frames[vma_b.start >> 12]
+
+
+class TestGuardedKernel:
+    def test_walks_work_end_to_end(self, guarded):
+        kernel = guarded.kernel
+        process = kernel.create_process("p")
+        vma = kernel.mmap(process, 64, populate=True)
+        for page in range(0, 64, 7):
+            kernel.access_virtual(process, vma.start + page * PAGE_BYTES)
+        assert not kernel.incidents
+
+    def test_integrity_incident_recorded(self, guarded):
+        kernel = guarded.kernel
+        process = kernel.create_process("p")
+        vma = kernel.mmap(process, 4, populate=True)
+        entry_address = process.page_table.leaf_entry_address(vma.start)
+        guarded.memory.flip_bit(entry_address & ~63, 13)
+        kernel.walker.flush_all()
+        with pytest.raises(PTEIntegrityException):
+            kernel.access_virtual(process, vma.start)
+        assert len(kernel.incidents) == 1
+        assert kernel.incidents[0].pid == process.pid
+
+    def test_os_reads_of_ptes_are_mac_free(self, guarded):
+        """Sec IV-C: the OS reads PTEs through the data path and sees
+        clean values (MAC stripped)."""
+        kernel = guarded.kernel
+        process = kernel.create_process("p")
+        vma = kernel.mmap(process, 1, populate=True)
+        entry_address = process.page_table.leaf_entry_address(vma.start)
+        pte = kernel.port.read_u64(entry_address)
+        decoded = X86PageTableEntry(pte)
+        assert decoded.pfn == process.frames[vma.start >> 12]
+        assert (pte >> 40) & 0xFFF == 0  # no MAC residue
+
+
+class TestSpuriousFaults:
+    def test_flipped_present_bit_remapped_on_baseline(self, system):
+        """A 1->0 flip in a present bit makes a resident page fault; the
+        OS re-establishes the mapping instead of looping forever."""
+        kernel = system.kernel
+        process = kernel.create_process("p")
+        vma = kernel.mmap(process, 2, populate=True)
+        entry_address = process.page_table.leaf_entry_address(vma.start)
+        system.memory.flip_bit(entry_address & ~63,
+                               (entry_address % 64) * 8 + 0)  # present bit
+        kernel.walker.flush_all()
+        physical = kernel.access_virtual(process, vma.start)
+        assert physical // 4096 == process.frames[vma.start >> 12]
+
+    def test_unresolvable_fault_raises(self, system):
+        """If re-mapping cannot help (no frame recorded), the fault
+        surfaces instead of spinning."""
+        kernel = system.kernel
+        process = kernel.create_process("p")
+        with pytest.raises(PageFaultError):
+            kernel.access_virtual(process, 0xDEAD000)
+
+
+class TestRekey:
+    def test_rekey_preserves_all_data_and_translations(self, guarded):
+        kernel = guarded.kernel
+        process = kernel.create_process("p")
+        vma = kernel.mmap(process, 8, populate=True)
+        kernel.write_virtual(process, vma.start, b"persistent")
+        translation_before = process.page_table.translate(vma.start)
+        rewritten = kernel.rekey_memory()
+        assert rewritten > 0
+        assert guarded.guard.epoch == 1
+        kernel.walker.flush_all()
+        assert process.page_table.translate(vma.start) == translation_before
+        assert kernel.read_virtual(process, vma.start, 10) == b"persistent"
+        # walks verify under the new key
+        kernel.access_virtual(process, vma.start)
+        assert not kernel.incidents

@@ -1,0 +1,111 @@
+"""Tests for the sparse physical-memory store."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigurationError
+from repro.mem.memory import PhysicalMemory
+
+SIZE = 1 << 20  # 1 MB is plenty for unit tests
+
+
+@pytest.fixture()
+def memory():
+    return PhysicalMemory(SIZE)
+
+
+class TestConstruction:
+    def test_size_must_be_line_multiple(self):
+        with pytest.raises(ConfigurationError):
+            PhysicalMemory(100)
+
+    def test_size_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            PhysicalMemory(0)
+
+
+class TestLineAccess:
+    def test_default_zero(self, memory):
+        assert memory.read_line(0) == bytes(64)
+
+    def test_write_read(self, memory):
+        data = bytes(range(64))
+        memory.write_line(128, data)
+        assert memory.read_line(128) == data
+
+    def test_unaligned_rejected(self, memory):
+        with pytest.raises(ValueError):
+            memory.read_line(1)
+        with pytest.raises(ValueError):
+            memory.write_line(8, bytes(64))
+
+    def test_out_of_range_rejected(self, memory):
+        with pytest.raises(ValueError):
+            memory.read_line(SIZE)
+
+    def test_wrong_length_rejected(self, memory):
+        with pytest.raises(ValueError):
+            memory.write_line(0, bytes(63))
+
+    def test_zero_write_reclaims_storage(self, memory):
+        memory.write_line(0, bytes(range(64)))
+        memory.write_line(0, bytes(64))
+        assert len(memory) == 0
+
+
+class TestByteAccess:
+    def test_cross_line_write(self, memory):
+        memory.write(60, b"ABCDEFGH")  # spans two lines
+        assert memory.read(60, 8) == b"ABCDEFGH"
+        assert memory.read_line(0)[60:] == b"ABCD"
+        assert memory.read_line(64)[:4] == b"EFGH"
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(0, SIZE - 256),
+        st.binary(min_size=1, max_size=200),
+    )
+    def test_write_read_roundtrip(self, address, data):
+        memory = PhysicalMemory(SIZE)
+        memory.write(address, data)
+        assert memory.read(address, len(data)) == data
+
+    def test_u64_roundtrip(self, memory):
+        memory.write_u64(1000, 0xDEADBEEF_CAFEBABE)
+        assert memory.read_u64(1000) == 0xDEADBEEF_CAFEBABE
+
+    def test_zero_fill(self, memory):
+        memory.write(0, b"\xff" * 100)
+        memory.zero_fill(10, 50)
+        assert memory.read(10, 50) == bytes(50)
+        assert memory.read(0, 10) == b"\xff" * 10
+
+
+class TestBitAccess:
+    def test_read_bit(self, memory):
+        memory.write_line(0, b"\x01" + bytes(63))
+        assert memory.read_bit(0, 0) == 1
+        assert memory.read_bit(0, 1) == 0
+
+    def test_flip_bit(self, memory):
+        memory.flip_bit(64, 100)
+        assert memory.read_bit(64, 100) == 1
+        memory.flip_bit(64, 100)
+        assert memory.read_bit(64, 100) == 0
+
+    @given(st.integers(0, 511))
+    def test_flip_is_involution(self, bit):
+        memory = PhysicalMemory(SIZE)
+        before = memory.read_line(0)
+        memory.flip_bit(0, bit)
+        assert memory.read_line(0) != before
+        memory.flip_bit(0, bit)
+        assert memory.read_line(0) == before
+
+
+class TestIntrospection:
+    def test_touched_lines(self, memory):
+        memory.write_line(64, bytes(range(64)))
+        memory.write_line(256, bytes(range(64)))
+        assert sorted(memory.touched_lines()) == [64, 256]

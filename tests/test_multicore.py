@@ -1,0 +1,83 @@
+"""Tests for the 4-core model (Sec VII-C)."""
+
+import pytest
+
+from repro.common.config import PTGuardConfig
+from repro.cpu.multicore import (
+    MulticoreSimulator,
+    SharedChannel,
+    make_random_mix,
+    make_same_mix,
+    run_multicore_experiment,
+)
+from repro.cpu.workloads import get_workload
+
+
+class TestSharedChannel:
+    def test_first_access_free(self):
+        channel = SharedChannel(burst_cycles=10)
+        assert channel.occupy(100) == 0
+
+    def test_back_to_back_queues(self):
+        channel = SharedChannel(burst_cycles=10)
+        channel.occupy(100)
+        assert channel.occupy(100) == 10
+        assert channel.occupy(100) == 20
+
+    def test_gap_drains_queue(self):
+        channel = SharedChannel(burst_cycles=10)
+        channel.occupy(100)
+        assert channel.occupy(500) == 0
+
+    def test_total_wait_accumulates(self):
+        channel = SharedChannel(burst_cycles=10)
+        channel.occupy(0)
+        channel.occupy(0)
+        channel.occupy(0)
+        assert channel.total_wait == 10 + 20
+
+
+class TestMixes:
+    def test_same_mix(self):
+        assert make_same_mix("lbm") == ["lbm"] * 4
+
+    def test_random_mix_deterministic(self):
+        assert make_random_mix(7) == make_random_mix(7)
+        assert len(make_random_mix(7)) == 4
+
+
+class TestSimulation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_multicore_experiment(
+            make_same_mix("xz"), None, mem_ops_per_core=1200, warmup_ops=600
+        )
+
+    def test_four_cores_ran(self, result):
+        assert len(result.per_core) == 4
+        assert all(r.mem_ops == 1200 for r in result.per_core)
+
+    def test_system_ipc_positive(self, result):
+        assert 0.0 < result.system_ipc < 4.0
+
+    def test_guard_costs_something_on_memory_bound_mix(self):
+        base = run_multicore_experiment(
+            make_same_mix("lbm"), None, mem_ops_per_core=1200, warmup_ops=600
+        )
+        guarded = run_multicore_experiment(
+            make_same_mix("lbm"),
+            PTGuardConfig(),
+            mem_ops_per_core=1200,
+            warmup_ops=600,
+        )
+        slowdown = base.system_ipc / guarded.system_ipc - 1
+        assert 0.0 <= slowdown < 0.10
+
+    def test_private_caches_shared_llc(self):
+        simulator = MulticoreSimulator(
+            [get_workload("xz")] * 4, None, seed=3
+        )
+        hierarchies = {id(core.hierarchy) for core in simulator.cores}
+        assert len(hierarchies) == 4  # private L1/L2 slices
+        llcs = {id(core.hierarchy.controller.llc) for core in simulator.cores}
+        assert len(llcs) == 1  # one shared L3

@@ -1,0 +1,130 @@
+"""Tests for 4-level page tables built in simulated memory."""
+
+import pytest
+
+from repro.common.config import PAGE_BYTES
+from repro.common.errors import TranslationError
+from repro.mem.memory import PhysicalMemory
+from repro.mmu.page_table import PageTable, level_index, vpn_of
+from repro.mmu.pte import X86PageTableEntry
+
+
+class RawPort:
+    """Direct memory port (no controller) for isolated page-table tests."""
+
+    def __init__(self, memory):
+        self.memory = memory
+
+    def read_u64(self, address):
+        return self.memory.read_u64(address)
+
+    def write_u64(self, address, value):
+        self.memory.write_u64(address, value)
+
+
+@pytest.fixture()
+def table():
+    memory = PhysicalMemory(256 * 1024 * 1024)
+    next_pfn = [100]
+
+    def allocate():
+        pfn = next_pfn[0]
+        next_pfn[0] += 1
+        return pfn
+
+    return PageTable(RawPort(memory), root_pfn=allocate(), allocate_table_page=allocate)
+
+
+class TestIndexMath:
+    def test_level_indices(self):
+        va = (3 << 39) | (5 << 30) | (7 << 21) | (9 << 12) | 0x123
+        assert level_index(va, 0) == 3
+        assert level_index(va, 1) == 5
+        assert level_index(va, 2) == 7
+        assert level_index(va, 3) == 9
+
+    def test_vpn(self):
+        assert vpn_of(0x12345678) == 0x12345
+
+
+class TestMapping:
+    def test_map_translate(self, table):
+        table.map(0x4000_0000_0000, pfn=0xABC)
+        assert table.translate(0x4000_0000_0123) == 0xABC * PAGE_BYTES + 0x123
+
+    def test_map_allocates_three_intermediate_levels(self, table):
+        table.map(0x4000_0000_0000, pfn=1)
+        assert len(table.table_pfns) == 4  # root + PDPT + PD + PT
+
+    def test_same_region_reuses_tables(self, table):
+        table.map(0x4000_0000_0000, pfn=1)
+        table.map(0x4000_0000_1000, pfn=2)
+        assert len(table.table_pfns) == 4
+
+    def test_far_region_allocates_new_path(self, table):
+        table.map(0x4000_0000_0000, pfn=1)
+        table.map(0x7000_0000_0000, pfn=2)
+        assert len(table.table_pfns) == 7
+
+    def test_unmapped_raises(self, table):
+        with pytest.raises(TranslationError):
+            table.translate(0x1234_5000)
+
+    def test_remap_overwrites(self, table):
+        table.map(0x1000, pfn=5)
+        table.map(0x1000, pfn=9)
+        assert table.translate(0x1000) == 9 * PAGE_BYTES
+
+    def test_unmap(self, table):
+        table.map(0x1000, pfn=5)
+        assert table.unmap(0x1000)
+        with pytest.raises(TranslationError):
+            table.translate(0x1000)
+
+    def test_unmap_absent_returns_false(self, table):
+        assert not table.unmap(0x9999_0000)
+
+    def test_flags_propagate_to_leaf(self, table):
+        table.map(0x1000, pfn=5, writable=False, user=True, no_execute=True,
+                  protection_key=3)
+        steps = table.walk_software(0x1000)
+        leaf = X86PageTableEntry(steps[-1].entry)
+        assert not leaf.writable and leaf.user_accessible and leaf.no_execute
+        assert leaf.protection_key == 3
+
+
+class TestWalks:
+    def test_walk_records_four_levels(self, table):
+        table.map(0x5000, pfn=7)
+        steps = table.walk_software(0x5000)
+        assert [s.level for s in steps] == [0, 1, 2, 3]
+        assert all(X86PageTableEntry(s.entry).present for s in steps)
+
+    def test_walk_stops_at_hole(self, table):
+        assert table.walk_software(0xDEAD_0000) is None
+
+    def test_leaf_entry_address(self, table):
+        table.map(0x5000, pfn=7)
+        address = table.leaf_entry_address(0x5000)
+        steps = table.walk_software(0x5000)
+        assert address == steps[-1].entry_address
+
+
+class TestEnumeration:
+    def test_iter_mappings(self, table):
+        expected = {}
+        for i in range(20):
+            va = 0x2000_0000_0000 + i * PAGE_BYTES
+            table.map(va, pfn=500 + i)
+            expected[vpn_of(va)] = 500 + i
+        assert dict(table.iter_mappings()) == expected
+
+    def test_iter_leaf_tables_counts_entries(self, table):
+        for i in range(3):
+            table.map(0x2000_0000_0000 + i * PAGE_BYTES, pfn=500 + i)
+        tables = list(table.iter_leaf_tables())
+        assert len(tables) == 1
+        _, entries = tables[0]
+        assert len(entries) == 512
+        present = [e for e in entries if X86PageTableEntry(e).present]
+        assert len(present) == 3

@@ -1,0 +1,173 @@
+"""Tests for the PTE-line layout and pattern matching (Table IV)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import pattern
+from repro.mmu.pte import make_x86_pte
+
+lines = st.binary(min_size=64, max_size=64)
+macs = st.integers(0, 2**96 - 1)
+identifiers = st.integers(0, 2**56 - 1)
+
+
+def pte_line(base_pfn=0x4000, present=8):
+    return pattern.join_ptes(
+        [make_x86_pte(base_pfn + i) if i < present else 0 for i in range(8)]
+    )
+
+
+class TestSplitJoin:
+    @given(lines)
+    def test_roundtrip(self, line):
+        assert pattern.join_ptes(pattern.split_ptes(line)) == line
+
+    def test_little_endian_layout(self):
+        line = (1).to_bytes(8, "little") + bytes(56)
+        assert pattern.split_ptes(line)[0] == 1
+
+    def test_length_enforced(self):
+        with pytest.raises(ValueError):
+            pattern.split_ptes(bytes(63))
+        with pytest.raises(ValueError):
+            pattern.join_ptes([0] * 7)
+
+
+class TestProtectedBits:
+    def test_table4_m40(self):
+        """Table IV at M = 40: flags sans accessed + OS bits + 28-bit PFN
+        + prot keys/NX = 44 protected bits per PTE."""
+        positions = pattern.protected_bit_positions(40)
+        assert len(positions) == 44
+        assert 5 not in positions  # accessed bit excluded
+        assert all(b in positions for b in (0, 1, 2, 8, 9, 11, 12, 39, 59, 63))
+        assert all(b not in positions for b in range(40, 59))
+
+    def test_flip_and_check_budget(self):
+        # (28 + 16) x 8 = 352 single-bit guesses (Sec VI-D step 2).
+        assert len(pattern.protected_bit_positions(40)) * 8 == 352
+
+    def test_smaller_machine(self):
+        positions = pattern.protected_bit_positions(32)
+        assert 31 in positions and 32 not in positions
+
+    @given(lines)
+    def test_mask_idempotent(self, line):
+        masked = pattern.mask_unprotected(line, 40)
+        assert pattern.mask_unprotected(masked, 40) == masked
+
+    @given(lines)
+    def test_mask_clears_metadata_fields(self, line):
+        masked = pattern.mask_unprotected(line, 40)
+        assert pattern.extract_mac(masked) == 0
+        assert pattern.extract_identifier(masked) == 0
+
+
+class TestPatternMatch:
+    def test_zero_line_matches(self):
+        assert pattern.matches_pattern(bytes(64))
+        assert pattern.matches_pattern(bytes(64), extended=True)
+
+    def test_real_pte_line_matches(self):
+        assert pattern.matches_pattern(pte_line(), extended=True)
+
+    def test_mac_field_bit_breaks_match(self):
+        line = pattern.embed_mac(bytes(64), 1)
+        assert not pattern.matches_pattern(line)
+
+    def test_identifier_field_only_checked_when_extended(self):
+        line = pattern.embed_identifier(bytes(64), 1)
+        assert pattern.matches_pattern(line)  # 96-bit pattern ignores 58:52
+        assert not pattern.matches_pattern(line, extended=True)
+
+    def test_random_data_rarely_matches(self):
+        import random
+
+        rng = random.Random(0)
+        matches = sum(
+            pattern.matches_pattern(rng.randbytes(64)) for _ in range(200)
+        )
+        assert matches == 0  # 96 random bits all-zero: p = 2^-96
+
+
+class TestMACEmbedding:
+    @given(macs)
+    def test_extract_inverts_embed(self, tag):
+        assert pattern.extract_mac(pattern.embed_mac(bytes(64), tag)) == tag
+
+    @given(lines, macs)
+    def test_embed_preserves_other_bits(self, line, tag):
+        stored = pattern.embed_mac(line, tag)
+        assert pattern.strip_mac(stored) == pattern.strip_mac(line)
+
+    def test_strip_restores_pte_line(self):
+        line = pte_line()
+        stored = pattern.embed_mac(line, 0xDEADBEEF_CAFEBABE_12345678)
+        assert pattern.strip_mac(stored) == line
+
+    def test_oversized_mac_rejected(self):
+        with pytest.raises(ValueError):
+            pattern.embed_mac(bytes(64), 1 << 96)
+
+    def test_mac_lands_in_bits_51_40(self):
+        stored = pattern.embed_mac(bytes(64), 0xFFF)  # 12 bits -> PTE 0
+        ptes = pattern.split_ptes(stored)
+        assert ptes[0] == 0xFFF << 40
+        assert all(p == 0 for p in ptes[1:])
+
+
+class TestIdentifierEmbedding:
+    @given(identifiers)
+    def test_extract_inverts_embed(self, ident):
+        line = pattern.embed_identifier(bytes(64), ident)
+        assert pattern.extract_identifier(line) == ident
+
+    @given(lines, identifiers)
+    def test_identifier_independent_of_mac(self, line, ident):
+        stored = pattern.embed_identifier(line, ident)
+        assert pattern.extract_mac(stored) == pattern.extract_mac(line)
+
+    def test_identifier_lands_in_bits_58_52(self):
+        stored = pattern.embed_identifier(bytes(64), 0x7F)  # 7 bits -> PTE 0
+        assert pattern.split_ptes(stored)[0] == 0x7F << 52
+
+    def test_oversized_identifier_rejected(self):
+        with pytest.raises(ValueError):
+            pattern.embed_identifier(bytes(64), 1 << 56)
+
+
+class TestStripMetadata:
+    @given(lines, macs, identifiers)
+    def test_full_roundtrip(self, line, tag, ident):
+        clean = pattern.strip_metadata(line)
+        stored = pattern.embed_identifier(pattern.embed_mac(clean, tag), ident)
+        assert pattern.strip_metadata(stored) == clean
+
+
+class TestZeroData:
+    def test_zero_line(self):
+        assert pattern.is_zero_data(bytes(64))
+
+    def test_metadata_only_is_zero_data(self):
+        stored = pattern.embed_identifier(pattern.embed_mac(bytes(64), 123), 45)
+        assert pattern.is_zero_data(stored)
+
+    def test_data_bit_is_not(self):
+        assert not pattern.is_zero_data((1).to_bytes(8, "little") + bytes(56))
+
+
+class TestPFNHelpers:
+    @given(st.integers(0, 2**28 - 1))
+    def test_pfn_roundtrip(self, pfn):
+        pte = pattern.with_pfn(0x67, pfn, 40)
+        assert pattern.pfn_of(pte, 40) == pfn
+        assert pte & 0xFFF == 0x67  # flags untouched
+
+    def test_bounds_check_detects_mac_residue(self):
+        """Sec IV-E: a MAC left in bits 51:40 makes the architectural PFN
+        exceed installed memory — the OS-visible signal."""
+        pte_with_mac = pattern.embed_mac(pte_line(), (1 << 96) - 1)
+        first = pattern.split_ptes(pte_with_mac)[0]
+        assert pattern.pfn_exceeds_bound(first, 40)
+        assert not pattern.pfn_exceeds_bound(make_x86_pte(0x4000), 40)

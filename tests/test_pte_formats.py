@@ -1,0 +1,133 @@
+"""Tests for the x86_64 (Table I) and ARMv8 (Table II) PTE formats."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mmu.pte import (
+    ARMV8_LAYOUT,
+    X86_64_LAYOUT,
+    ArmPageTableEntry,
+    X86PageTableEntry,
+    make_arm_pte,
+    make_x86_pte,
+)
+
+
+class TestTable1Layout:
+    """The bit positions of paper Table I, exactly."""
+
+    def test_field_positions(self):
+        assert X86_64_LAYOUT["present"] == (0, 0)
+        assert X86_64_LAYOUT["writable"] == (1, 1)
+        assert X86_64_LAYOUT["user_accessible"] == (2, 2)
+        assert X86_64_LAYOUT["accessed"] == (5, 5)
+        assert X86_64_LAYOUT["dirty"] == (6, 6)
+        assert X86_64_LAYOUT["huge_page"] == (7, 7)
+        assert X86_64_LAYOUT["global"] == (8, 8)
+        assert X86_64_LAYOUT["os_usable"] == (11, 9)
+        assert X86_64_LAYOUT["pfn"] == (51, 12)
+        assert X86_64_LAYOUT["ignored"] == (58, 52)
+        assert X86_64_LAYOUT["protection_keys"] == (62, 59)
+        assert X86_64_LAYOUT["no_execute"] == (63, 63)
+
+    def test_pfn_supports_4_petabytes(self):
+        """40-bit PFN x 4 KB pages = 4 PB of addressable physical memory —
+        the slack PT-Guard harvests (Sec I)."""
+        high, low = X86_64_LAYOUT["pfn"]
+        pfn_bits = high - low + 1
+        assert pfn_bits == 40
+        assert (1 << pfn_bits) * 4096 == 4 * 2**50
+
+
+class TestX86Encoding:
+    @given(st.integers(0, 2**40 - 1))
+    def test_pfn_roundtrip(self, pfn):
+        assert X86PageTableEntry(make_x86_pte(pfn)).pfn == pfn
+
+    def test_flags_roundtrip(self):
+        pte = X86PageTableEntry(
+            make_x86_pte(
+                0x123,
+                present=True,
+                writable=False,
+                user=True,
+                accessed=True,
+                dirty=True,
+                global_page=True,
+                no_execute=True,
+                protection_key=0xA,
+                os_bits=0b101,
+            )
+        )
+        assert pte.present and not pte.writable and pte.user_accessible
+        assert pte.accessed and pte.dirty and pte.global_page and pte.no_execute
+        assert pte.protection_key == 0xA
+        assert pte.os_bits == 0b101
+
+    def test_non_present(self):
+        assert not X86PageTableEntry(make_x86_pte(1, present=False)).present
+
+    def test_default_leaves_ignored_bits_zero(self):
+        """The OS zeroes bits 58:40 beyond installed memory — the property
+        PT-Guard's bit-pattern match relies on (Sec IV-B)."""
+        pte = make_x86_pte(0x12345, user=True, no_execute=True, protection_key=0xF)
+        assert (pte >> 40) & ((1 << 19) - 1) == 0  # bits 58:40 for 1 TB PFNs
+
+
+class TestTable2Layout:
+    def test_field_positions(self):
+        assert ARMV8_LAYOUT["valid"] == (0, 0)
+        assert ARMV8_LAYOUT["memory_attributes"] == (5, 2)
+        assert ARMV8_LAYOUT["access_permissions"] == (7, 6)
+        assert ARMV8_LAYOUT["pfn_high"] == (9, 8)
+        assert ARMV8_LAYOUT["accessed"] == (10, 10)
+        assert ARMV8_LAYOUT["pfn_low"] == (49, 12)
+        assert ARMV8_LAYOUT["dirty"] == (51, 51)
+        assert ARMV8_LAYOUT["contiguous"] == (52, 52)
+        assert ARMV8_LAYOUT["execute_never"] == (54, 53)
+        assert ARMV8_LAYOUT["hardware_attributes"] == (62, 59)
+
+    def test_arm_pfn_is_40_bits_split(self):
+        """ARMv8 PFN: bits 49:12 hold PFN[37:0], bits 9:8 hold PFN[39:38]."""
+        high = make_arm_pte(0b11 << 38)
+        assert (high >> 8) & 0b11 == 0b11
+
+
+class TestArmEncoding:
+    @given(st.integers(0, 2**40 - 1))
+    def test_pfn_roundtrip(self, pfn):
+        assert ArmPageTableEntry(make_arm_pte(pfn)).pfn == pfn
+
+    def test_flags_roundtrip(self):
+        pte = ArmPageTableEntry(
+            make_arm_pte(
+                0x77,
+                access_permissions=0b01,
+                accessed=True,
+                dirty=True,
+                contiguous=True,
+                execute_never=0b10,
+                memory_attributes=0b0101,
+            )
+        )
+        assert pte.valid and pte.accessed and pte.dirty and pte.contiguous
+        assert pte.execute_never == 0b10
+        assert pte.memory_attributes == 0b0101
+        assert pte.user_accessible  # AP=01 -> EL0 access
+
+    def test_kernel_only_permission(self):
+        pte = ArmPageTableEntry(make_arm_pte(1, access_permissions=0b00))
+        assert not pte.user_accessible
+
+    def test_invalid_entry(self):
+        assert not ArmPageTableEntry(make_arm_pte(1, valid=False)).valid
+
+
+class TestCrossISA:
+    def test_both_formats_have_user_control_bits(self):
+        """Sec II-C: security-critical metadata exists in both ISAs."""
+        x86 = make_x86_pte(1, user=True)
+        arm = make_arm_pte(1, access_permissions=0b01)
+        assert X86PageTableEntry(x86).user_accessible
+        assert ArmPageTableEntry(arm).user_accessible

@@ -1,0 +1,135 @@
+"""Property validation of the QARMA implementation.
+
+Official test vectors are unavailable offline (DESIGN.md substitution
+note), so the cipher is held to the properties a tweakable PRP must have:
+exact invertibility for every (key, tweak), strong diffusion from
+plaintext/tweak/key changes, and statistical balance.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.qarma import Qarma, Qarma64, Qarma128
+
+KEY64 = bytes(range(16))
+KEY128 = bytes(range(32))
+
+
+@pytest.fixture(scope="module")
+def q64():
+    return Qarma64(KEY64)
+
+
+@pytest.fixture(scope="module")
+def q128():
+    return Qarma128(KEY128)
+
+
+class TestConstruction:
+    def test_block_sizes(self, q64, q128):
+        assert q64.block_bits == 64
+        assert q128.block_bits == 128
+
+    def test_default_rounds_match_paper(self, q128):
+        # PT-Guard cites an 18-round QARMA-128: 2r + 2 with r = 8.
+        assert 2 * q128.rounds + 2 == 18
+
+    def test_key_length_enforced(self):
+        with pytest.raises(ValueError):
+            Qarma64(bytes(15))
+        with pytest.raises(ValueError):
+            Qarma128(bytes(31))
+
+    def test_cell_bits_restricted(self):
+        with pytest.raises(ValueError):
+            Qarma(bytes(32), cell_bits=6)
+
+    def test_rounds_bounds(self):
+        with pytest.raises(ValueError):
+            Qarma(bytes(32), cell_bits=8, rounds=0)
+        with pytest.raises(ValueError):
+            Qarma(bytes(32), cell_bits=8, rounds=99)
+
+
+class TestInvertibility:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 2**64 - 1), st.integers(0, 2**64 - 1))
+    def test_qarma64_roundtrip(self, plaintext, tweak):
+        cipher = Qarma64(KEY64)
+        assert cipher.decrypt(cipher.encrypt(plaintext, tweak), tweak) == plaintext
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 2**128 - 1), st.integers(0, 2**128 - 1))
+    def test_qarma128_roundtrip(self, plaintext, tweak):
+        cipher = Qarma128(KEY128)
+        assert cipher.decrypt(cipher.encrypt(plaintext, tweak), tweak) == plaintext
+
+    def test_block_range_enforced(self, q64):
+        with pytest.raises(ValueError):
+            q64.encrypt(1 << 64)
+        with pytest.raises(ValueError):
+            q64.encrypt(-1)
+
+
+class TestDiffusion:
+    def _avalanche(self, cipher, flips=64, trials=30):
+        rng = random.Random(5)
+        total = 0
+        for _ in range(trials):
+            plaintext = rng.getrandbits(cipher.block_bits)
+            bit = rng.randrange(cipher.block_bits)
+            a = cipher.encrypt(plaintext, 0)
+            b = cipher.encrypt(plaintext ^ (1 << bit), 0)
+            total += bin(a ^ b).count("1")
+        return total / trials
+
+    def test_plaintext_avalanche_64(self, q64):
+        mean = self._avalanche(q64)
+        assert 22 <= mean <= 42  # ~half of 64 bits
+
+    def test_plaintext_avalanche_128(self, q128):
+        mean = self._avalanche(q128)
+        assert 48 <= mean <= 80  # ~half of 128 bits
+
+    def test_tweak_changes_output(self, q128):
+        plaintext = 0x0123456789ABCDEF_FEDCBA9876543210
+        outputs = {q128.encrypt(plaintext, tweak) for tweak in range(16)}
+        assert len(outputs) == 16
+
+    def test_key_changes_output(self):
+        a = Qarma128(bytes(32)).encrypt(42)
+        b = Qarma128(bytes(31) + b"\x01").encrypt(42)
+        assert a != b
+
+    def test_single_tweak_bit_avalanche(self, q128):
+        plaintext = 7
+        a = q128.encrypt(plaintext, 0)
+        b = q128.encrypt(plaintext, 1)
+        assert bin(a ^ b).count("1") >= 30
+
+
+class TestByteInterface:
+    def test_encrypt_bytes_roundtrip_shape(self, q128):
+        out = q128.encrypt_bytes(bytes(16), b"tweak")
+        assert len(out) == 16
+        assert out != bytes(16)
+
+    def test_encrypt_bytes_length_enforced(self, q128):
+        with pytest.raises(ValueError):
+            q128.encrypt_bytes(bytes(15))
+
+
+class TestStatistics:
+    def test_output_bits_balanced(self, q128):
+        """Each output bit should be ~50% ones over a counter input set."""
+        ones = [0] * 128
+        trials = 200
+        for i in range(trials):
+            out = q128.encrypt(i)
+            for bit in range(128):
+                ones[bit] += (out >> bit) & 1
+        for bit in range(128):
+            assert 0.3 <= ones[bit] / trials <= 0.7, f"bit {bit} biased"

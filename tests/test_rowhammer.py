@@ -1,0 +1,216 @@
+"""Tests for the Rowhammer fault model."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dram.rowhammer import (
+    RowhammerModel,
+    RowhammerProfile,
+    inject_uniform_flips,
+)
+
+
+def neighbor_fn(row_key, distance):
+    channel, rank, bank, row = row_key
+    out = []
+    for delta in (-distance, distance):
+        if 0 <= row + delta < 1024:
+            out.append((channel, rank, bank, row + delta))
+    return out
+
+
+def make_model(threshold=100, flip_probability=0.05, seed=1):
+    profile = RowhammerProfile("test", threshold, flip_probability)
+    return RowhammerModel(profile, lines_per_row=4, neighbor_fn=neighbor_fn, seed=seed)
+
+
+VICTIM = (0, 0, 0, 100)
+AGGRESSOR_LEFT = (0, 0, 0, 99)
+AGGRESSOR_RIGHT = (0, 0, 0, 101)
+
+
+class TestProfiles:
+    def test_paper_thresholds(self):
+        assert RowhammerProfile.ddr3_2014().threshold == 139_000
+        assert RowhammerProfile.ddr4_2020().threshold == 10_000
+        assert RowhammerProfile.lpddr4_2020().threshold == 4_800
+
+    def test_threshold_ratio_27x(self):
+        """Sec II-A: vulnerability worsened ~27x in 7 years."""
+        ratio = RowhammerProfile.ddr3_2014().threshold / RowhammerProfile.lpddr4_2020().threshold
+        assert 25 <= ratio <= 30
+
+    def test_flip_probabilities(self):
+        assert RowhammerProfile.lpddr4_2020().flip_probability == 0.01
+
+    def test_activation_budget_order_of_magnitude(self):
+        budget = RowhammerProfile.lpddr4_2020().activation_budget()
+        assert 1_000_000 <= budget <= 2_000_000  # ~1.37M per 64 ms
+
+
+class TestDisturbance:
+    def test_activation_deposits_into_neighbors(self):
+        model = make_model()
+        model.record_activation(AGGRESSOR_LEFT)
+        assert model.disturbance(VICTIM) == 1.0
+        assert model.disturbance((0, 0, 0, 98)) == 1.0
+
+    def test_distance_two_weak(self):
+        model = make_model()
+        model.record_activation((0, 0, 0, 102))
+        assert model.disturbance(VICTIM) == pytest.approx(1 / 2000)
+
+    def test_double_sided_adds(self):
+        model = make_model(threshold=10)
+        for _ in range(5):
+            model.record_activation(AGGRESSOR_LEFT)
+            model.record_activation(AGGRESSOR_RIGHT)
+        assert model.over_threshold(VICTIM)
+
+    def test_refresh_restores(self):
+        model = make_model(threshold=10)
+        for _ in range(20):
+            model.record_activation(AGGRESSOR_LEFT)
+        model.record_refresh(VICTIM)
+        assert model.disturbance(VICTIM) == 0.0
+
+    def test_mitigation_refresh_hammers_neighbors(self):
+        """The Half-Double primitive: refreshing a row disturbs *its*
+        neighbours at full distance-1 strength."""
+        model = make_model()
+        model.record_mitigation_refresh(AGGRESSOR_LEFT)
+        assert model.disturbance(AGGRESSOR_LEFT) == 0.0  # restored
+        assert model.disturbance(VICTIM) == 1.0  # hammered
+
+    def test_window_elapsed_clears_all(self):
+        model = make_model(threshold=5)
+        for _ in range(10):
+            model.record_activation(AGGRESSOR_LEFT)
+        model.refresh_window_elapsed()
+        assert model.disturbance(VICTIM) == 0.0
+        assert model.hammered_rows() == []
+
+
+class TestCellPhysics:
+    def test_determinism(self):
+        a, b = make_model(seed=9), make_model(seed=9)
+        for line in range(4):
+            for bit in range(512):
+                assert a.cell_is_vulnerable(VICTIM, line, bit) == b.cell_is_vulnerable(
+                    VICTIM, line, bit
+                )
+
+    def test_seed_changes_cells(self):
+        a, b = make_model(seed=1), make_model(seed=2)
+        cells_a = [
+            (line, bit)
+            for line in range(4)
+            for bit in range(512)
+            if a.cell_is_vulnerable(VICTIM, line, bit)
+        ]
+        cells_b = [
+            (line, bit)
+            for line in range(4)
+            for bit in range(512)
+            if b.cell_is_vulnerable(VICTIM, line, bit)
+        ]
+        assert cells_a != cells_b
+
+    def test_vulnerable_fraction_matches_probability(self):
+        model = make_model(flip_probability=0.05)
+        total = sum(
+            model.cell_is_vulnerable((0, 0, 0, row), line, bit)
+            for row in range(20)
+            for line in range(4)
+            for bit in range(512)
+        )
+        fraction = total / (20 * 4 * 512)
+        assert 0.035 <= fraction <= 0.065
+
+
+class TestFlipComputation:
+    def _flips(self, model, stored_bit):
+        return model.compute_flips(
+            VICTIM,
+            line_address_fn=lambda row, idx: idx * 64,
+            read_bit=lambda addr, bit: stored_bit,
+        )
+
+    def test_no_flips_below_threshold(self):
+        model = make_model(threshold=100)
+        model.record_activation(AGGRESSOR_LEFT)
+        assert self._flips(model, 1) == []
+
+    def test_flips_over_threshold_respect_polarity(self):
+        model = make_model(threshold=2, flip_probability=0.05)
+        for _ in range(3):
+            model.record_activation(AGGRESSOR_LEFT)
+        ones_flips = self._flips(model, 1)
+        assert ones_flips, "true cells should flip stored 1s"
+        assert all(f.direction == "1->0" for f in ones_flips)
+
+    def test_anti_cells_flip_zeros(self):
+        model = make_model(threshold=2, flip_probability=0.05)
+        for _ in range(3):
+            model.record_activation(AGGRESSOR_LEFT)
+        zero_flips = self._flips(model, 0)
+        assert zero_flips
+        assert all(f.direction == "0->1" for f in zero_flips)
+
+    def test_cells_flip_once_per_window(self):
+        model = make_model(threshold=2, flip_probability=0.05)
+        for _ in range(3):
+            model.record_activation(AGGRESSOR_LEFT)
+        first = self._flips(model, 1)
+        assert first
+        again = self._flips(model, 1)
+        assert again == []  # processed marker + flip history
+
+    def test_refresh_rearms(self):
+        model = make_model(threshold=2, flip_probability=0.05)
+        for _ in range(3):
+            model.record_activation(AGGRESSOR_LEFT)
+        first = self._flips(model, 1)
+        model.record_refresh(VICTIM)
+        model.reset_flip_history()
+        for _ in range(3):
+            model.record_activation(AGGRESSOR_LEFT)
+        second = self._flips(model, 1)
+        assert {(f.line_address, f.bit_offset) for f in second} == {
+            (f.line_address, f.bit_offset) for f in first
+        }
+
+
+class TestUniformInjection:
+    def test_zero_probability(self):
+        rng = random.Random(0)
+        line, flips = inject_uniform_flips(bytes(64), 0.0, rng)
+        assert line == bytes(64) and flips == []
+
+    def test_certain_probability(self):
+        rng = random.Random(0)
+        line, flips = inject_uniform_flips(bytes(64), 1.0, rng)
+        assert line == b"\xff" * 64 and len(flips) == 512
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 2**32 - 1))
+    def test_reported_flips_match_damage(self, seed):
+        rng = random.Random(seed)
+        original = bytes(range(64))
+        faulty, flips = inject_uniform_flips(original, 0.02, rng)
+        diff = int.from_bytes(original, "little") ^ int.from_bytes(faulty, "little")
+        assert diff.bit_count() == len(flips)
+        for bit in flips:
+            assert (diff >> bit) & 1
+
+    def test_rate_statistics(self):
+        rng = random.Random(7)
+        total = 0
+        for _ in range(100):
+            _, flips = inject_uniform_flips(bytes(64), 1 / 128, rng)
+            total += len(flips)
+        mean = total / 100
+        assert 2.5 <= mean <= 5.5  # E = 512/128 = 4

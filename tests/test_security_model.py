@@ -1,0 +1,104 @@
+"""Tests for the analytical security model (Eq 1, Eq 2, Sec IV-G/VI-E)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import security
+
+
+class TestEquation1:
+    def test_exact_match_single_guess(self):
+        assert security.escape_probability(96, 0, 1) == pytest.approx(2.0**-96)
+
+    def test_paper_design_point(self):
+        """n=96, k=4, Gmax=372 -> n_eff ~ 66 bits (Sec VI-E)."""
+        n_eff = security.effective_mac_bits(96, 4, 372)
+        assert 64.5 <= n_eff <= 67.0
+
+    def test_security_loss(self):
+        loss = security.security_loss_bits(96, 4, 372)
+        assert 29.0 <= loss <= 31.5  # 96 - ~66
+
+    def test_guesses_scale_linearly(self):
+        single = security.escape_probability(96, 4, 1)
+        many = security.escape_probability(96, 4, 372)
+        assert many == pytest.approx(372 * single)
+
+    @given(st.integers(0, 10), st.integers(0, 10))
+    def test_monotone_in_k(self, k1, k2):
+        low, high = min(k1, k2), max(k1, k2)
+        assert security.escape_probability(96, low, 372) <= security.escape_probability(
+            96, high, 372
+        )
+
+    def test_degenerate_k(self):
+        assert security.escape_probability(8, 8, 1) == 1.0
+
+
+class TestEquation2:
+    def test_paper_numbers(self):
+        """k=4 keeps uncorrectable MACs below 1% at p_flip=1%."""
+        assert security.uncorrectable_probability(96, 4, 0.01) < 0.01
+        assert security.uncorrectable_probability(96, 3, 0.01) > 0.01
+
+    def test_zero_probability(self):
+        assert security.uncorrectable_probability(96, 4, 0.0) == 0.0
+
+    def test_certain_flips(self):
+        assert security.uncorrectable_probability(96, 4, 1.0) == pytest.approx(1.0)
+
+    def test_probability_bounds_enforced(self):
+        with pytest.raises(ValueError):
+            security.uncorrectable_probability(96, 4, 1.5)
+
+    @given(st.floats(0.0001, 0.05))
+    def test_is_a_probability(self, p_flip):
+        value = security.uncorrectable_probability(96, 4, p_flip)
+        assert 0.0 <= value <= 1.0
+
+
+class TestPolicy:
+    def test_chooses_k4_for_lpddr4(self):
+        assert security.choose_soft_match_k(96, 0.01) == 4
+
+    def test_chooses_smaller_k_for_ddr4(self):
+        assert security.choose_soft_match_k(96, 0.001) <= 2
+
+    def test_expected_faults(self):
+        assert security.expected_mac_faults(96, 0.01) == pytest.approx(0.96)
+
+
+class TestTimeEstimates:
+    def test_exact_mac_exceeds_1e14_years(self):
+        assert security.years_to_attack(96) > 1e14
+
+    def test_corrected_design_exceeds_1e4_years(self):
+        assert security.years_to_attack(96, 4, 372) > 1e4
+
+    def test_natural_collision_interval(self):
+        """Sec IV-D: 'once every trillion years of continuous writes'."""
+        assert security.natural_collision_interval_years(96) > 1e12
+
+    def test_ctb_fill_probability_negligible(self):
+        """Sec IV-F footnote: 'approximately 2^-350' for 1 billion lines /
+        4 entries. Our binomial-tail bound gives ~2^-268 — the same
+        astronomically-negligible regime (the footnote's arithmetic is an
+        approximation)."""
+        p = security.ctb_fill_probability(96, 2**30, 4)
+        assert p < 2.0**-250
+
+    def test_infinite_when_escape_zero(self):
+        assert security.years_to_attack(96, 0, 0) == math.inf
+
+
+class TestSummary:
+    def test_bundle_consistent(self):
+        summary = security.summarize()
+        assert summary.mac_bits == 96 and summary.soft_match_k == 4
+        assert summary.effective_bits == pytest.approx(
+            -math.log2(summary.p_escape)
+        )
+        assert summary.security_loss == pytest.approx(96 - summary.effective_bits)

@@ -1,0 +1,73 @@
+"""Tests for the system assembly harness."""
+
+import pytest
+
+from repro import PTGuardConfig, RowhammerProfile, SystemConfig, build_system
+from repro.common.config import optimized_ptguard_config
+from repro.cpu.workloads import get_workload
+
+
+class TestBuildSystem:
+    def test_baseline_has_no_guard(self):
+        system = build_system()
+        assert system.guard is None
+        assert system.controller.ptguard is None
+
+    def test_guarded_system_wired_through(self):
+        system = build_system(ptguard=PTGuardConfig())
+        assert system.guard is system.controller.ptguard
+
+    def test_config_embedded_guard_used(self):
+        config = SystemConfig().with_ptguard(optimized_ptguard_config())
+        system = build_system(config=config)
+        assert system.guard is not None
+        assert system.guard.config.identifier_enabled
+
+    def test_explicit_guard_overrides(self):
+        config = SystemConfig()
+        system = build_system(config=config, ptguard=PTGuardConfig(mac_bits=64))
+        assert system.guard.config.mac_bits == 64
+
+    def test_rowhammer_profile_attached(self):
+        profile = RowhammerProfile.scaled()
+        system = build_system(rowhammer=profile)
+        assert system.dram.rowhammer.profile is profile
+
+    def test_memory_shared_across_layers(self):
+        system = build_system()
+        assert system.dram.memory is system.memory
+        assert system.kernel.controller is system.controller
+
+    def test_seed_determinism(self):
+        a = build_system(ptguard=PTGuardConfig(), seed=5)
+        b = build_system(ptguard=PTGuardConfig(), seed=5)
+        assert a.guard.identifier == b.guard.identifier
+        line = bytes(64)
+        assert (
+            a.guard.process_write(0, line).stored_line
+            == b.guard.process_write(0, line).stored_line
+        )
+
+    def test_coherence_attached(self):
+        system = build_system()
+        system.hierarchy.read(0x9000)
+        system.controller.write_line(0x9000, b"k" * 64)
+        assert system.hierarchy.read(0x9000).data == b"k" * 64
+
+
+class TestWorkloadProcess:
+    def test_regions_mapped(self):
+        system = build_system()
+        process, trace = system.workload_process(get_workload("xz"))
+        names = {vma.name for vma in process.vmas}
+        assert names == {"hot", "cold"}
+        cold = next(v for v in process.vmas if v.name == "cold")
+        assert cold.num_pages * 4096 == trace.regions.cold_bytes
+
+    def test_new_core_private_walker(self):
+        system = build_system()
+        p1, _ = system.workload_process(get_workload("xz"))
+        core_a = system.new_core(p1)
+        core_b = system.new_core(p1)
+        assert core_a.walker is not core_b.walker
+        assert core_a.hierarchy is core_b.hierarchy  # single-socket L1 share

@@ -1,0 +1,115 @@
+"""Tests for the TLB and the MMU (page-walk) cache."""
+
+import pytest
+
+from repro.mmu.mmu_cache import MMUCache
+from repro.mmu.tlb import TLB, TLBEntry
+
+
+def entry(pfn=1):
+    return TLBEntry(pfn=pfn, writable=True, user_accessible=True, no_execute=False)
+
+
+class TestTLB:
+    def test_miss_then_hit(self):
+        tlb = TLB(4)
+        assert tlb.lookup(1, 100) is None
+        tlb.insert(1, 100, entry(7))
+        assert tlb.lookup(1, 100).pfn == 7
+
+    def test_asid_isolation(self):
+        tlb = TLB(4)
+        tlb.insert(1, 100, entry(7))
+        assert tlb.lookup(2, 100) is None
+
+    def test_lru_eviction(self):
+        tlb = TLB(2)
+        tlb.insert(1, 100, entry(1))
+        tlb.insert(1, 101, entry(2))
+        tlb.lookup(1, 100)  # refresh 100
+        tlb.insert(1, 102, entry(3))
+        assert tlb.lookup(1, 101) is None
+        assert tlb.lookup(1, 100) is not None
+
+    def test_capacity_64_default(self):
+        tlb = TLB()
+        for vpn in range(65):
+            tlb.insert(1, vpn, entry(vpn))
+        assert len(tlb) == 64
+        assert tlb.lookup(1, 0) is None  # the oldest fell out
+
+    def test_invalidate_page(self):
+        tlb = TLB(4)
+        tlb.insert(1, 100, entry())
+        tlb.invalidate_page(1, 100)
+        assert tlb.lookup(1, 100) is None
+
+    def test_invalidate_asid(self):
+        tlb = TLB(8)
+        tlb.insert(1, 100, entry())
+        tlb.insert(2, 100, entry())
+        tlb.invalidate_asid(1)
+        assert tlb.lookup(1, 100) is None
+        assert tlb.lookup(2, 100) is not None
+
+    def test_flush(self):
+        tlb = TLB(4)
+        tlb.insert(1, 100, entry())
+        tlb.flush()
+        assert len(tlb) == 0
+
+    def test_hit_rate(self):
+        tlb = TLB(4)
+        tlb.insert(1, 100, entry())
+        tlb.lookup(1, 100)
+        tlb.lookup(1, 200)
+        assert tlb.hit_rate == pytest.approx(0.5)
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            TLB(0)
+
+
+class TestMMUCache:
+    def test_miss_then_hit(self):
+        cache = MMUCache()
+        assert cache.lookup(0x1000) is None
+        cache.insert(0x1000, 0xDEAD)
+        assert cache.lookup(0x1000) == 0xDEAD
+
+    def test_distinct_entries(self):
+        cache = MMUCache()
+        cache.insert(0x1000, 1)
+        cache.insert(0x1008, 2)
+        assert cache.lookup(0x1000) == 1
+        assert cache.lookup(0x1008) == 2
+
+    def test_associativity_eviction(self):
+        cache = MMUCache(size_bytes=4 * 8 * 2, associativity=2)  # 4 sets, 2 ways
+        stride = 4 * 8  # same set, different tags
+        cache.insert(0, 1)
+        cache.insert(stride, 2)
+        cache.insert(2 * stride, 3)  # evicts LRU (tag 0)
+        assert cache.lookup(0) is None
+        assert cache.lookup(stride) == 2
+
+    def test_invalidate(self):
+        cache = MMUCache()
+        cache.insert(0x1000, 1)
+        cache.invalidate(0x1000)
+        assert cache.lookup(0x1000) is None
+
+    def test_flush(self):
+        cache = MMUCache()
+        cache.insert(0x1000, 1)
+        cache.flush()
+        assert cache.lookup(0x1000) is None
+
+    def test_paper_geometry(self):
+        """Table III: 8 KB, 4-way."""
+        cache = MMUCache(8 * 1024, 4)
+        assert cache.num_sets == 256
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            MMUCache(size_bytes=100, associativity=3)

@@ -1,0 +1,106 @@
+"""Tests for workload profiles and trace generation."""
+
+import pytest
+
+from repro.common.config import CACHELINE_BYTES
+from repro.cpu.trace import HOT_REGION_BYTES, TraceGenerator, region_pages
+from repro.cpu.workloads import (
+    MEMORY_INTENSIVE,
+    WORKLOADS,
+    WorkloadProfile,
+    get_workload,
+)
+
+HOT, COLD = 0x5000_0000_0000, 0x6000_0000_0000
+
+
+class TestWorkloadRoster:
+    def test_25_workloads(self):
+        """20 SPEC (int+fp minus gcc/blender/parest) + 5 GAP (Sec III)."""
+        assert len(WORKLOADS) == 25
+        suites = {w.suite for w in WORKLOADS}
+        assert suites == {"spec-int", "spec-fp", "gap"}
+        assert sum(1 for w in WORKLOADS if w.suite == "gap") == 5
+
+    def test_excluded_benchmarks_absent(self):
+        names = {w.name for w in WORKLOADS}
+        for excluded in ("gcc", "blender", "parest"):
+            assert excluded not in names
+
+    def test_paper_headline_workloads_present(self):
+        names = {w.name for w in WORKLOADS}
+        for required in ("xalancbmk", "lbm", "fotonik3d", "mcf", "bc", "pr", "sssp"):
+            assert required in names
+
+    def test_memory_intensive_set(self):
+        """Sec III: GAP, xalancbmk, lbm, fotonik have MPKI > 10."""
+        assert "xalancbmk" in MEMORY_INTENSIVE
+        assert "lbm" in MEMORY_INTENSIVE
+        assert "fotonik3d" in MEMORY_INTENSIVE
+        assert "povray" not in MEMORY_INTENSIVE
+
+    def test_xalancbmk_is_worst(self):
+        """Fig 6: xalancbmk has the highest MPKI (29)."""
+        worst = max(WORKLOADS, key=lambda w: w.target_mpki)
+        assert worst.name == "xalancbmk" and worst.target_mpki == 29.0
+
+    def test_lookup(self):
+        assert get_workload("lbm").suite == "spec-fp"
+        with pytest.raises(KeyError):
+            get_workload("doom")
+
+    def test_cold_fraction_sane(self):
+        for workload in WORKLOADS:
+            assert 0.0 < workload.cold_fraction < 0.2
+
+
+class TestTraceGeneration:
+    def test_determinism(self):
+        a = TraceGenerator(get_workload("mcf"), HOT, COLD, seed=5)
+        b = TraceGenerator(get_workload("mcf"), HOT, COLD, seed=5)
+        for _ in range(500):
+            assert a.next_record() == b.next_record()
+
+    def test_seed_changes_stream(self):
+        a = TraceGenerator(get_workload("mcf"), HOT, COLD, seed=5)
+        b = TraceGenerator(get_workload("mcf"), HOT, COLD, seed=6)
+        records_a = [a.next_record() for _ in range(200)]
+        records_b = [b.next_record() for _ in range(200)]
+        assert records_a != records_b
+
+    def test_addresses_stay_in_regions(self):
+        trace = TraceGenerator(get_workload("xalancbmk"), HOT, COLD, seed=1)
+        for _ in range(2000):
+            record = trace.next_record()
+            va = record.virtual_address
+            in_hot = HOT <= va < HOT + HOT_REGION_BYTES
+            in_cold = COLD <= va < COLD + trace.regions.cold_bytes
+            assert in_hot or in_cold
+            assert va % CACHELINE_BYTES == 0
+            assert record.instructions >= 1
+
+    def test_cold_share_tracks_mpki(self):
+        high = TraceGenerator(get_workload("xalancbmk"), HOT, COLD, seed=1)
+        low = TraceGenerator(get_workload("povray"), HOT, COLD, seed=1)
+
+        def cold_share(trace):
+            cold = sum(
+                1
+                for _ in range(4000)
+                if trace.next_record().virtual_address >= COLD
+            )
+            return cold / 4000
+
+        assert cold_share(high) > 10 * cold_share(low)
+
+    def test_write_fraction(self):
+        trace = TraceGenerator(get_workload("mcf"), HOT, COLD, seed=1)
+        writes = sum(trace.next_record().is_write for _ in range(4000))
+        assert 0.2 <= writes / 4000 <= 0.4
+
+    def test_region_pages_cover_both_regions(self):
+        trace = TraceGenerator(get_workload("povray"), HOT, COLD, seed=1)
+        pages = list(region_pages(trace.regions))
+        assert HOT in pages and COLD in pages
+        expected = HOT_REGION_BYTES // 4096 + trace.regions.cold_bytes // 4096
+        assert len(pages) == expected

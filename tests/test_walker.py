@@ -1,0 +1,125 @@
+"""Tests for the hardware page-table walker."""
+
+import pytest
+
+from repro.common.config import PAGE_BYTES, PTGuardConfig
+from repro.common.errors import PageFaultError
+from repro.core import pattern
+from repro.harness.system import build_system
+from repro.mmu.walker import ControllerPort, PageWalker, PTEIntegrityException
+
+
+@pytest.fixture()
+def machine():
+    system = build_system()
+    kernel = system.kernel
+    process = kernel.create_process("w")
+    vma = kernel.mmap(process, 8, populate=True)
+    return system, process, vma
+
+
+@pytest.fixture()
+def guarded_machine():
+    system = build_system(ptguard=PTGuardConfig())
+    kernel = system.kernel
+    process = kernel.create_process("w")
+    vma = kernel.mmap(process, 8, populate=True)
+    return system, process, vma
+
+
+def fresh_walker(system):
+    return PageWalker(ControllerPort(system.controller))
+
+
+class TestTranslation:
+    def test_walk_matches_software_translation(self, machine):
+        system, process, vma = machine
+        walker = fresh_walker(system)
+        result = walker.translate(process.asid, process.page_table.root_pfn, vma.start)
+        assert result.pfn * PAGE_BYTES == process.page_table.translate(vma.start)
+        assert not result.tlb_hit and result.levels_walked == 4
+
+    def test_second_walk_hits_tlb(self, machine):
+        system, process, vma = machine
+        walker = fresh_walker(system)
+        walker.translate(process.asid, process.page_table.root_pfn, vma.start)
+        result = walker.translate(process.asid, process.page_table.root_pfn, vma.start)
+        assert result.tlb_hit and result.levels_walked == 0
+        assert result.latency_cycles == walker.tlb_hit_latency
+
+    def test_mmu_cache_shortens_neighbour_walks(self, machine):
+        system, process, vma = machine
+        walker = fresh_walker(system)
+        walker.translate(process.asid, process.page_table.root_pfn, vma.start)
+        result = walker.translate(
+            process.asid, process.page_table.root_pfn, vma.start + PAGE_BYTES
+        )
+        # Upper three levels served by the MMU cache; only the leaf read.
+        assert result.levels_walked == 1
+
+    def test_page_fault_on_hole(self, machine):
+        system, process, _ = machine
+        walker = fresh_walker(system)
+        with pytest.raises(PageFaultError):
+            walker.translate(process.asid, process.page_table.root_pfn, 0xDEAD_BEEF_000)
+
+    def test_tlb_entry_carries_permissions(self, machine):
+        system, process, vma = machine
+        walker = fresh_walker(system)
+        result = walker.translate(process.asid, process.page_table.root_pfn, vma.start)
+        assert result.entry.writable and result.entry.user_accessible
+        assert result.entry.no_execute  # anon mapping defaults to NX
+
+
+class TestGuardInteraction:
+    def test_walk_strips_mac_before_tlb(self, guarded_machine):
+        """The transparency invariant: no MAC bits ever reach the TLB."""
+        system, process, vma = guarded_machine
+        walker = fresh_walker(system)
+        result = walker.translate(process.asid, process.page_table.root_pfn, vma.start)
+        assert result.pfn < (1 << 28)  # a 4 GB machine PFN, not MAC junk
+        assert result.pfn * PAGE_BYTES == process.page_table.translate(vma.start)
+
+    def test_tampered_walk_raises(self, guarded_machine):
+        system, process, vma = guarded_machine
+        walker = fresh_walker(system)
+        entry_address = process.page_table.leaf_entry_address(vma.start)
+        system.memory.flip_bit(entry_address & ~63, 14)
+        with pytest.raises(PTEIntegrityException) as excinfo:
+            walker.translate(process.asid, process.page_table.root_pfn, vma.start)
+        assert excinfo.value.level == 3
+        assert walker.stats.get("integrity_failures") == 1
+
+    def test_upper_level_tamper_also_detected(self, guarded_machine):
+        system, process, vma = guarded_machine
+        walker = fresh_walker(system)
+        steps = process.page_table.walk_software(vma.start)
+        pml4e_address = steps[0].entry_address
+        system.memory.flip_bit(pml4e_address & ~63, 13)
+        with pytest.raises(PTEIntegrityException) as excinfo:
+            walker.translate(process.asid, process.page_table.root_pfn, vma.start)
+        assert excinfo.value.level == 0
+
+    def test_tlb_shields_until_invalidated(self, guarded_machine):
+        """A cached translation keeps working after DRAM tampering — the
+        walk only re-verifies once the TLB entry is gone (like hardware)."""
+        system, process, vma = guarded_machine
+        walker = fresh_walker(system)
+        walker.translate(process.asid, process.page_table.root_pfn, vma.start)
+        entry_address = process.page_table.leaf_entry_address(vma.start)
+        system.memory.flip_bit(entry_address & ~63, 14)
+        result = walker.translate(process.asid, process.page_table.root_pfn, vma.start)
+        assert result.tlb_hit  # shielded
+        walker.invalidate(process.asid, vma.start)
+        with pytest.raises(PTEIntegrityException):
+            walker.translate(process.asid, process.page_table.root_pfn, vma.start)
+
+
+class TestInvalidate:
+    def test_flush_all(self, machine):
+        system, process, vma = machine
+        walker = fresh_walker(system)
+        walker.translate(process.asid, process.page_table.root_pfn, vma.start)
+        walker.flush_all()
+        result = walker.translate(process.asid, process.page_table.root_pfn, vma.start)
+        assert not result.tlb_hit
