@@ -1,0 +1,212 @@
+"""Hot-path throughput: host-side simulator speed per MAC backend.
+
+Unlike the figure benchmarks (which reproduce *simulated* results), this
+one measures the *simulator itself*: end-to-end accesses/sec on a
+fig6-style trace-driven run and MAC computations/sec, for each MAC
+backend, against the throughput recorded at the growth seed. It guards
+the hot-path optimisations (table-driven QARMA, the MAC verify cache and
+the allocation-free access loop) against regression, and asserts the one
+property that makes them safe: the cache changes *no* simulated outcome.
+
+Writes machine-readable ``BENCH_hotpath.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+from dataclasses import replace
+
+from conftest import scale
+
+from repro.common.config import optimized_ptguard_config
+from repro.cpu.workloads import get_workload
+from repro.harness.system import build_system
+
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+WORKLOAD = "xalancbmk"  # fig6's worst case: memory-intensive, walk-heavy
+
+# Accesses/sec recorded at the growth seed (commit 6cb10eb) on the
+# reference container, same workload/op counts as below. These are
+# host-machine numbers: the speedup assertions only bind at full scale
+# (REPRO_SCALE >= 1), i.e. acceptance runs on comparable hardware.
+SEED_BASELINE_ACC_PER_SEC = {
+    "pseudo": 25_449.0,
+    "blake2": 24_209.0,
+    "qarma": 2_105.0,
+}
+
+
+def _run_workload(mac_algorithm: str, mem_ops: int, warmup_ops: int,
+                  verify_cache: bool = True) -> dict:
+    """One fig6-style timed window; returns host + simulated metrics."""
+    config = optimized_ptguard_config()
+    if not verify_cache:
+        config = replace(config, mac_verify_cache_entries=0)
+    system = build_system(ptguard=config, mac_algorithm=mac_algorithm, seed=2023)
+    profile = get_workload(WORKLOAD)
+    process, trace = system.workload_process(profile, seed=11)
+    core = system.new_core(process)
+    core.prefault(trace)
+    for _ in range(warmup_ops):
+        record = trace.next_record()
+        core._execute(record.virtual_address, record.is_write)
+    guard = system.controller.ptguard
+    computations_before = guard.engine.computations
+    cycles_before = core.cycles
+    instructions_before = core.instructions
+    # Time in chunks and report the best chunk rate: shared-container CPU
+    # noise only ever slows a chunk down, so max-rate is the stable
+    # statistic for "how fast is this code".
+    chunks = 4
+    chunk_ops = max(1, mem_ops // chunks)
+    best_rate = 0.0
+    elapsed = 0.0
+    for _ in range(chunks):
+        start = time.perf_counter()
+        core.run(trace, mem_ops=chunk_ops)
+        chunk_sec = time.perf_counter() - start
+        elapsed += chunk_sec
+        best_rate = max(best_rate, chunk_ops / chunk_sec)
+    computations = guard.engine.computations - computations_before
+    engine_stats = guard.engine.stats
+    return {
+        "mac": mac_algorithm,
+        "mem_ops": chunk_ops * chunks,
+        "elapsed_sec": elapsed,
+        "acc_per_sec": best_rate,
+        "mac_computations": computations,
+        "mac_computations_per_sec": computations / elapsed,
+        "verify_cache_hits": engine_stats.get("verify_cache_hits"),
+        "verify_cache_misses": engine_stats.get("verify_cache_misses"),
+        # Simulated outcomes — must be invariant under host-side tweaks.
+        "cycles": core.cycles - cycles_before,
+        "instructions": core.instructions - instructions_before,
+    }
+
+
+def _qarma_table_speedup(blocks: int) -> dict:
+    """Single-block Qarma128 encrypt: table-driven vs reference."""
+    from repro.crypto.qarma import Qarma128
+
+    key = bytes(range(32))
+    fast = Qarma128(key)
+    slow = Qarma128(key, use_tables=False)
+    plain, tweak = 0x0123_4567_89AB_CDEF_0011_2233_4455_6677, 0x42
+
+    start = time.perf_counter()
+    for i in range(blocks):
+        fast.encrypt(plain ^ i, tweak)
+    fast_sec = time.perf_counter() - start
+
+    slow_blocks = max(1, blocks // 16)
+    start = time.perf_counter()
+    for i in range(slow_blocks):
+        slow.encrypt(plain ^ i, tweak)
+    slow_sec = time.perf_counter() - start
+
+    fast_rate = blocks / fast_sec
+    slow_rate = slow_blocks / slow_sec
+    return {
+        "table_blocks_per_sec": fast_rate,
+        "reference_blocks_per_sec": slow_rate,
+        "speedup": fast_rate / slow_rate,
+    }
+
+
+def test_bench_perf_hotpath(once, emit):
+    mem_ops = int(32_000 * scale())
+    warmup = int(2_000 * scale())
+
+    def experiment():
+        rows = [
+            _run_workload(mac, mem_ops, warmup)
+            for mac in ("pseudo", "blake2", "qarma")
+        ]
+        cache_off = _run_workload("blake2", mem_ops, warmup, verify_cache=False)
+        qarma = _qarma_table_speedup(blocks=max(256, int(4096 * scale())))
+        return rows, cache_off, qarma
+
+    rows, cache_off, qarma = once(experiment)
+    by_mac = {row["mac"]: row for row in rows}
+    cache_on = by_mac["blake2"]
+
+    speedups = {
+        row["mac"]: row["acc_per_sec"] / SEED_BASELINE_ACC_PER_SEC[row["mac"]]
+        for row in rows
+    }
+    hits = cache_on["verify_cache_hits"]
+    misses = cache_on["verify_cache_misses"]
+    hit_rate = hits / (hits + misses) if hits + misses else 0.0
+    outcomes_identical = (
+        cache_on["cycles"] == cache_off["cycles"]
+        and cache_on["instructions"] == cache_off["instructions"]
+        and cache_on["mac_computations"] == cache_off["mac_computations"]
+    )
+
+    lines = [
+        f"Hot-path throughput — {WORKLOAD}, {mem_ops} mem ops "
+        f"(REPRO_SCALE={scale():g})",
+        "",
+        f"{'MAC':<8} {'acc/s':>10} {'seed acc/s':>11} {'speedup':>8} "
+        f"{'MACs/s':>10}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['mac']:<8} {row['acc_per_sec']:>10,.0f} "
+            f"{SEED_BASELINE_ACC_PER_SEC[row['mac']]:>11,.0f} "
+            f"{speedups[row['mac']]:>7.2f}x "
+            f"{row['mac_computations_per_sec']:>10,.0f}"
+        )
+    lines += [
+        "",
+        f"qarma/blake2 host-cost ratio "
+        f"{cache_on['acc_per_sec'] / by_mac['qarma']['acc_per_sec']:.2f}x "
+        f"(seed {SEED_BASELINE_ACC_PER_SEC['blake2'] / SEED_BASELINE_ACC_PER_SEC['qarma']:.1f}x)",
+        f"Qarma128 table-driven vs reference: {qarma['speedup']:.1f}x "
+        f"({qarma['table_blocks_per_sec']:,.0f} vs "
+        f"{qarma['reference_blocks_per_sec']:,.0f} blocks/s)",
+        f"verify cache (blake2): hit rate {hit_rate:.1%}, "
+        f"on {cache_on['acc_per_sec']:,.0f} acc/s vs "
+        f"off {cache_off['acc_per_sec']:,.0f} acc/s",
+        f"simulated outcomes identical with cache on/off: {outcomes_identical}",
+    ]
+    emit("\n".join(lines))
+
+    payload = {
+        "workload": WORKLOAD,
+        "mem_ops": mem_ops,
+        "repro_scale": scale(),
+        "seed_baseline_acc_per_sec": SEED_BASELINE_ACC_PER_SEC,
+        "optimised": {
+            row["mac"]: {
+                "acc_per_sec": row["acc_per_sec"],
+                "mac_computations_per_sec": row["mac_computations_per_sec"],
+                "speedup_vs_seed": speedups[row["mac"]],
+            }
+            for row in rows
+        },
+        "qarma_table": qarma,
+        "verify_cache": {
+            "hit_rate": hit_rate,
+            "acc_per_sec_on": cache_on["acc_per_sec"],
+            "acc_per_sec_off": cache_off["acc_per_sec"],
+            "simulated_outcomes_identical": outcomes_identical,
+        },
+    }
+    (REPO_ROOT / "BENCH_hotpath.json").write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+
+    # Host-independent properties (always asserted).
+    assert outcomes_identical, "verify cache changed a simulated outcome"
+    assert qarma["speedup"] >= 8.0, "table-driven QARMA lost its edge"
+    # QARMA used to cost ~11x blake2 end-to-end; must stay within ~10x.
+    assert cache_on["acc_per_sec"] / by_mac["qarma"]["acc_per_sec"] <= 10.0
+    # Absolute speedup vs the recorded seed numbers is host-dependent;
+    # bind it only for full-scale runs (acceptance hardware).
+    if scale() >= 1.0:
+        assert speedups["blake2"] >= 3.0, (
+            f"end-to-end blake2 speedup {speedups['blake2']:.2f}x < 3x seed"
+        )

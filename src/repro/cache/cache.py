@@ -5,30 +5,39 @@ functional filter in front of the memory controller: PT-Guard only ever
 sees true DRAM traffic (misses and dirty evictions), exactly as in the
 paper's Figure 5, and lines cached before a Rowhammer flip keep shielding
 their consumers until evicted — a property the attack experiments rely on.
+
+Every simulated access funnels through :meth:`Cache.lookup` /
+:meth:`Cache.fill`, so the hot path avoids per-call allocation: resident
+lines are mutable ``__slots__`` objects updated in place on re-fill and
+write hits, and the set-index/tag split is inlined rather than building a
+tuple per probe.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, NamedTuple, Optional, Tuple
 
 from repro.common.bitops import log2_exact
 from repro.common.config import CacheConfig
 from repro.common.stats import StatGroup
 
 
-@dataclass
 class CacheLine:
-    """One resident line: its data and dirty state."""
+    """One resident line: its data and dirty state (mutated in place)."""
 
-    data: bytes
-    dirty: bool = False
-    is_pte: bool = False  # provenance tag (isPTE travelled with the fill)
+    __slots__ = ("data", "dirty", "is_pte")
+
+    def __init__(self, data: bytes, dirty: bool = False, is_pte: bool = False):
+        self.data = data
+        self.dirty = dirty
+        self.is_pte = is_pte  # provenance tag (isPTE travelled with the fill)
+
+    def __repr__(self) -> str:
+        return f"CacheLine(dirty={self.dirty}, is_pte={self.is_pte})"
 
 
-@dataclass(frozen=True)
-class EvictedLine:
+class EvictedLine(NamedTuple):
     """A victim pushed out by a fill; dirty victims must be written back."""
 
     address: int
@@ -43,60 +52,101 @@ class Cache:
         self.config = config
         self._offset_bits = log2_exact(config.line_bytes)
         self._set_bits = log2_exact(config.num_sets)
+        self._set_mask = config.num_sets - 1
+        self._assoc = config.associativity
         # Per-set OrderedDict used as an LRU: oldest entry first.
         self._sets: Dict[int, OrderedDict[int, CacheLine]] = {}
         self.stats = StatGroup(config.name)
+        self._counters = self.stats.raw()  # inlined hot-path updates
 
     def _index(self, address: int) -> Tuple[int, int]:
         line_address = address >> self._offset_bits
-        set_index = line_address & (self.config.num_sets - 1)
-        tag = line_address >> self._set_bits
-        return set_index, tag
+        return line_address & self._set_mask, line_address >> self._set_bits
 
     def lookup(self, address: int, touch: bool = True) -> Optional[CacheLine]:
         """Probe for ``address``; moves the line to MRU when ``touch``."""
-        set_index, tag = self._index(address)
-        lines = self._sets.get(set_index)
-        if lines is None or tag not in lines:
-            self.stats.increment("misses")
-            return None
-        self.stats.increment("hits")
-        if touch:
-            lines.move_to_end(tag)
-        return lines[tag]
+        line_address = address >> self._offset_bits
+        lines = self._sets.get(line_address & self._set_mask)
+        counters = self._counters
+        if lines is not None:
+            tag = line_address >> self._set_bits
+            line = lines.get(tag)
+            if line is not None:
+                try:
+                    counters["hits"] += 1
+                except KeyError:
+                    counters["hits"] = 1
+                if touch:
+                    lines.move_to_end(tag)
+                return line
+        try:
+            counters["misses"] += 1
+        except KeyError:
+            counters["misses"] = 1
+        return None
 
     def fill(
         self, address: int, data: bytes, dirty: bool = False, is_pte: bool = False
     ) -> Optional[EvictedLine]:
         """Install a line, evicting the LRU victim of its set if needed."""
-        set_index, tag = self._index(address)
-        lines = self._sets.setdefault(set_index, OrderedDict())
+        line_address = address >> self._offset_bits
+        set_index = line_address & self._set_mask
+        tag = line_address >> self._set_bits
+        lines = self._sets.get(set_index)
+        if lines is None:
+            lines = self._sets[set_index] = OrderedDict()
         victim: Optional[EvictedLine] = None
-        if tag in lines:
-            existing = lines[tag]
-            lines[tag] = CacheLine(data=data, dirty=dirty or existing.dirty, is_pte=is_pte)
+        existing = lines.get(tag)
+        if existing is not None:
+            existing.data = data
+            existing.dirty = dirty or existing.dirty
+            existing.is_pte = is_pte
             lines.move_to_end(tag)
             return None
-        if len(lines) >= self.config.associativity:
+        counters = self._counters
+        if len(lines) >= self._assoc:
             victim_tag, victim_line = lines.popitem(last=False)
-            victim_address = self._compose(set_index, victim_tag)
-            self.stats.increment("evictions")
+            # Inlined _compose (one call per eviction adds up).
+            victim_address = (
+                (victim_tag << self._set_bits) | set_index
+            ) << self._offset_bits
+            try:
+                counters["evictions"] += 1
+            except KeyError:
+                counters["evictions"] = 1
             if victim_line.dirty:
-                self.stats.increment("dirty_evictions")
+                try:
+                    counters["dirty_evictions"] += 1
+                except KeyError:
+                    counters["dirty_evictions"] = 1
             victim = EvictedLine(
                 address=victim_address, data=victim_line.data, dirty=victim_line.dirty
             )
-        lines[tag] = CacheLine(data=data, dirty=dirty, is_pte=is_pte)
-        self.stats.increment("fills")
+            # Recycle the evicted line object for the incoming line.
+            victim_line.data = data
+            victim_line.dirty = dirty
+            victim_line.is_pte = is_pte
+            lines[tag] = victim_line
+        else:
+            lines[tag] = CacheLine(data, dirty, is_pte)
+        try:
+            counters["fills"] += 1
+        except KeyError:
+            counters["fills"] = 1
         return victim
 
     def write_hit(self, address: int, data: bytes) -> bool:
         """Update a resident line in place; returns False on miss."""
-        set_index, tag = self._index(address)
-        lines = self._sets.get(set_index)
-        if lines is None or tag not in lines:
+        line_address = address >> self._offset_bits
+        lines = self._sets.get(line_address & self._set_mask)
+        if lines is None:
             return False
-        lines[tag] = CacheLine(data=data, dirty=True, is_pte=lines[tag].is_pte)
+        tag = line_address >> self._set_bits
+        line = lines.get(tag)
+        if line is None:
+            return False
+        line.data = data
+        line.dirty = True
         lines.move_to_end(tag)
         return True
 

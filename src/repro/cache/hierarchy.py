@@ -16,17 +16,15 @@ refuse to install a line that failed its integrity check (Sec IV-F:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, NamedTuple, Optional
 
 from repro.common.config import CACHELINE_BYTES, SystemConfig
 from repro.common.stats import StatGroup
 from repro.cache.cache import Cache, EvictedLine
-from repro.mem.controller import MemoryController, MemoryRequest
+from repro.mem.controller import MemoryController, MemoryRequest, MemoryResponse
 
 
-@dataclass(frozen=True)
-class AccessResult:
+class AccessResult(NamedTuple):
     """Outcome of one hierarchy access."""
 
     data: bytes
@@ -52,45 +50,45 @@ class SharedLLCAdapter:
         self.stats = StatGroup("shared_llc")
         self.ptguard = controller.ptguard
         self.dram = controller.dram
+        # Writes always complete at the LLC hit latency; reuse one response.
+        self._write_response = MemoryResponse(data=None, latency_cycles=hit_latency)
 
     def discard(self, address: int) -> None:
         """Coherence invalidation for the shared LLC (no write-back)."""
         self.llc.invalidate(address)
 
     def access(self, request: MemoryRequest):
-        from repro.mem.controller import MemoryResponse
-
         if request.is_write:
-            self.stats.increment("writes")
-            victim = self.llc.fill(request.address, request.data, dirty=True)
-            if victim is not None and victim.dirty:
-                self.controller.access(
-                    MemoryRequest(
-                        address=victim.address,
-                        is_write=True,
-                        data=victim.data,
-                        cycle=request.cycle,
-                        origin=self,
-                    )
-                )
-            return MemoryResponse(data=None, latency_cycles=self.hit_latency)
-        self.stats.increment("pte_reads" if request.is_pte else "reads")
-        line = self.llc.lookup(request.address)
+            return self.write_access(
+                request.address, request.data, request.cycle, request.origin
+            )
+        return self.read_access(request.address, request.is_pte, request.cycle)
+
+    def write_access(
+        self,
+        address: int,
+        data: Optional[bytes],
+        cycle: int = 0,
+        origin: Optional[object] = None,
+    ) -> MemoryResponse:
+        self.stats.increment("writes")
+        victim = self.llc.fill(address, data, dirty=True)
+        if victim is not None and victim.dirty:
+            self.controller.write_access(victim.address, victim.data, cycle, self)
+        return self._write_response
+
+    def read_access(
+        self, address: int, is_pte: bool = False, cycle: int = 0
+    ) -> MemoryResponse:
+        self.stats.increment("pte_reads" if is_pte else "reads")
+        line = self.llc.lookup(address)
         if line is not None:
             return MemoryResponse(data=line.data, latency_cycles=self.hit_latency)
-        response = self.controller.access(request)
+        response = self.controller.read_access(address, is_pte, cycle)
         if response.data is not None and not response.pte_check_failed:
-            victim = self.llc.fill(request.address, response.data, is_pte=request.is_pte)
+            victim = self.llc.fill(address, response.data, is_pte=is_pte)
             if victim is not None and victim.dirty:
-                self.controller.access(
-                    MemoryRequest(
-                        address=victim.address,
-                        is_write=True,
-                        data=victim.data,
-                        cycle=request.cycle,
-                        origin=self,
-                    )
-                )
+                self.controller.write_access(victim.address, victim.data, cycle, self)
         return MemoryResponse(
             data=response.data,
             latency_cycles=self.hit_latency + response.latency_cycles,
@@ -134,28 +132,53 @@ class CacheHierarchy:
             ]
             self._names = ["L1", "L2", "L3"]
         self.stats = StatGroup("hierarchy")
+        self._counters = self.stats.raw()  # inlined hot-path updates
+        self._lat1 = self._latencies[0]
+        self._lat2 = self._latencies[1]
+        self._lat3 = self._latencies[2] if self.l3 is not None else 0
         self.cycle = 0  # advanced by the owning core model
 
     # -- main access path -----------------------------------------------------
 
     def read(self, address: int, is_pte: bool = False) -> AccessResult:
-        """Read one line; returns data, latency and where it hit."""
-        address = self._align(address)
-        self.stats.increment("reads")
-        latency = 0
-        for index, cache in enumerate(self._levels):
-            latency += self._latencies[index]
-            line = cache.lookup(address)
+        """Read one line; returns data, latency and where it hit.
+
+        The level probes are unrolled (L1 → L2 → L3 → DRAM): this is the
+        single hottest function of a simulation, and the generic loop costs
+        an indexing + frame per level per access.
+        """
+        address = address & ~(CACHELINE_BYTES - 1)
+        counters = self._counters
+        try:
+            counters["reads"] += 1
+        except KeyError:
+            counters["reads"] = 1
+        latency = self._lat1
+        line = self.l1.lookup(address)
+        if line is not None:
+            return AccessResult(line.data, latency, "L1")
+        latency += self._lat2
+        line = self.l2.lookup(address)
+        if line is not None:
+            data = line.data
+            victim = self.l1.fill(address, data, is_pte=is_pte)
+            if victim is not None and victim.dirty:
+                self._handle_victim(victim, level=0)
+            return AccessResult(data, latency, "L2")
+        l3 = self.l3
+        if l3 is not None:
+            latency += self._lat3
+            line = l3.lookup(address)
             if line is not None:
-                self._fill_upper(index, address, line.data, is_pte)
-                return AccessResult(
-                    data=line.data, latency_cycles=latency, hit_level=self._names[index]
-                )
+                data = line.data
+                self._fill_upper(2, address, data, is_pte)
+                return AccessResult(data, latency, "L3")
         # LLC miss: go to DRAM through the controller (and PT-Guard).
-        self.stats.increment("llc_misses")
-        response = self.controller.access(
-            MemoryRequest(address=address, is_write=False, is_pte=is_pte, cycle=self.cycle)
-        )
+        try:
+            counters["llc_misses"] += 1
+        except KeyError:
+            counters["llc_misses"] = 1
+        response = self.controller.read_access(address, is_pte, self.cycle)
         latency += response.latency_cycles
         data = response.data if response.data is not None else bytes(CACHELINE_BYTES)
         if response.pte_check_failed:
@@ -167,7 +190,7 @@ class CacheHierarchy:
                 pte_check_failed=True,
             )
         self._fill_all(address, data, is_pte)
-        return AccessResult(data=data, latency_cycles=latency, hit_level="DRAM")
+        return AccessResult(data, latency, "DRAM")
 
     def write(self, address: int, data: bytes) -> AccessResult:
         """Write one full line (write-back, write-allocate)."""
@@ -227,15 +250,7 @@ class CacheHierarchy:
             self._handle_victim(lower_victim, level=level + 1)
         else:
             self.stats.increment("writebacks")
-            self.controller.access(
-                MemoryRequest(
-                    address=victim.address,
-                    is_write=True,
-                    data=victim.data,
-                    cycle=self.cycle,
-                    origin=self,
-                )
-            )
+            self.controller.write_access(victim.address, victim.data, self.cycle, self)
 
     # -- maintenance ---------------------------------------------------------------
 
@@ -249,14 +264,8 @@ class CacheHierarchy:
                     )
                     self._handle_victim(lower_victim, level=index + 1)
                 else:
-                    self.controller.access(
-                        MemoryRequest(
-                            address=victim.address,
-                            is_write=True,
-                            data=victim.data,
-                            cycle=self.cycle,
-                            origin=self,
-                        )
+                    self.controller.write_access(
+                        victim.address, victim.data, self.cycle, self
                     )
 
     def invalidate(self, address: int) -> None:
@@ -271,14 +280,8 @@ class CacheHierarchy:
                     )
                     self._handle_victim(lower_victim, level=index + 1)
                 else:
-                    self.controller.access(
-                        MemoryRequest(
-                            address=victim.address,
-                            is_write=True,
-                            data=victim.data,
-                            cycle=self.cycle,
-                            origin=self,
-                        )
+                    self.controller.write_access(
+                        victim.address, victim.data, self.cycle, self
                     )
 
     def discard(self, address: int) -> None:

@@ -111,10 +111,16 @@ class PTGuardConfig:
     soft_match_k: int = 4  # MAC bit-faults tolerated (Sec VI-C)
     ctb_entries: int = 4
     almost_zero_threshold: int = 4  # <=4 set bits => guess zero-PTE
+    # Host-side memo of computed tags (simulator speed only — simulated
+    # latency, counters and outcomes are identical either way). 0 disables
+    # it, e.g. for security experiments that want every MAC recomputed.
+    mac_verify_cache_entries: int = 4096
 
     def __post_init__(self) -> None:
         if not 28 <= self.max_phys_bits <= 52:
             raise ConfigurationError("max_phys_bits must lie in [28, 52]")
+        if self.mac_verify_cache_entries < 0:
+            raise ConfigurationError("mac_verify_cache_entries must be >= 0")
         if self.mac_bits != 12 * PTES_PER_LINE:
             # The design pools 12 bits from each of the 8 PTEs in a line.
             if self.mac_bits not in (64, 96):

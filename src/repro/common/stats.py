@@ -3,17 +3,23 @@
 Each component owns a :class:`StatGroup`; counters are created lazily and
 render to plain dictionaries for reporting, so benchmark harnesses can diff
 baseline and protected runs without knowing component internals.
+
+``StatGroup`` is on the per-access hot path of every simulated component
+(caches, controller, guard, walker), so counters are stored as a plain
+``dict`` of ints and :meth:`StatGroup.increment` is a single dict update —
+no per-counter objects are allocated. :class:`StatCounter` remains as a
+handle for callers that want an object-style counter.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator
 
 
 @dataclass
 class StatCounter:
-    """A named monotonic counter."""
+    """A named monotonic counter (standalone object form)."""
 
     name: str
     value: int = 0
@@ -31,38 +37,89 @@ class StatCounter:
         return f"StatCounter({self.name}={self.value})"
 
 
-@dataclass
-class StatGroup:
-    """A named collection of counters, created on first access."""
+class _BoundCounter:
+    """A live view onto one named counter of a :class:`StatGroup`."""
 
-    name: str
-    _counters: Dict[str, StatCounter] = field(default_factory=dict)
+    __slots__ = ("name", "_counters")
 
-    def counter(self, name: str) -> StatCounter:
-        """Return the counter ``name``, creating it at zero if needed."""
-        if name not in self._counters:
-            self._counters[name] = StatCounter(name)
-        return self._counters[name]
+    def __init__(self, name: str, counters: Dict[str, int]):
+        self.name = name
+        self._counters = counters
 
-    def increment(self, name: str, amount: int = 1) -> None:
-        self.counter(name).increment(amount)
+    @property
+    def value(self) -> int:
+        return self._counters.get(self.name, 0)
 
-    def get(self, name: str) -> int:
-        return self._counters[name].value if name in self._counters else 0
+    def increment(self, amount: int = 1) -> None:
+        counters = self._counters
+        try:
+            counters[self.name] += amount
+        except KeyError:
+            counters[self.name] = amount
 
     def reset(self) -> None:
-        for counter in self._counters.values():
-            counter.reset()
+        self._counters[self.name] = 0
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"StatCounter({self.name}={self.value})"
+
+
+class StatGroup:
+    """A named collection of counters, created on first increment.
+
+    Counters live in a plain ``Dict[str, int]`` so the hot-path operations
+    (:meth:`increment`, :meth:`get`) are bare dict accesses.
+    """
+
+    __slots__ = ("name", "_counters")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._counters: Dict[str, int] = {}
+
+    def counter(self, name: str) -> _BoundCounter:
+        """Return a live handle for the counter ``name`` (created at zero)."""
+        self._counters.setdefault(name, 0)
+        return _BoundCounter(name, self._counters)
+
+    def raw(self) -> Dict[str, int]:
+        """The live counter dict, for hot paths that inline their updates.
+
+        Callers mutate it with ``try: d[k] += 1 / except KeyError: d[k] = 1``
+        — observable state is identical to calling :meth:`increment`.
+        """
+        return self._counters
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        counters = self._counters
+        try:
+            counters[name] += amount
+        except KeyError:
+            counters[name] = amount
+
+    def get(self, name: str) -> int:
+        return self._counters.get(name, 0)
+
+    def reset(self) -> None:
+        counters = self._counters
+        for name in counters:
+            counters[name] = 0
 
     def as_dict(self) -> Dict[str, int]:
         """Snapshot all counters as a plain dict (sorted for stable output)."""
-        return {name: self._counters[name].value for name in sorted(self._counters)}
+        counters = self._counters
+        return {name: counters[name] for name in sorted(counters)}
 
     def __iter__(self) -> Iterator[StatCounter]:
-        return iter(self._counters.values())
+        return iter(
+            StatCounter(name, value) for name, value in self._counters.items()
+        )
 
     def __repr__(self) -> str:
-        inner = ", ".join(f"{k}={v.value}" for k, v in sorted(self._counters.items()))
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(self._counters.items()))
         return f"StatGroup({self.name}: {inner})"
 
 

@@ -8,19 +8,29 @@ Wraps a :class:`repro.crypto.mac.LineMAC` with the PT-Guard specifics:
   Hamming distance ``k`` of the computed one — which tolerates up to ``k``
   bit-flips in the MAC itself (Section VI-C) at a quantified security cost
   (Section VI-E, see :mod:`repro.core.security`).
+
+A host-side **verify cache** (a bounded LRU keyed by line address,
+validated against the exact line bytes) memoizes :meth:`MACEngine.compute`:
+trace-driven runs re-read the same PTE lines constantly, and the MAC of an
+unchanged (line, address) pair is deterministic. The cache is a pure
+simulator-speed optimisation — ``computations`` (the simulated MAC-unit
+invocation count used for energy accounting) and every verification
+outcome are identical with the cache on or off. A Rowhammer flip in DRAM
+changes the line bytes, misses the cache, and is recomputed honestly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from collections import OrderedDict
+from typing import NamedTuple
 
 from repro.common.bitops import hamming_distance
+from repro.common.stats import StatGroup
 from repro.crypto.mac import LineMAC
 from repro.core import pattern
 
 
-@dataclass(frozen=True)
-class VerifyResult:
+class VerifyResult(NamedTuple):
     """Outcome of a MAC verification."""
 
     ok: bool
@@ -29,13 +39,31 @@ class VerifyResult:
 
 
 class MACEngine:
-    """Computes/verifies PTE-line MACs for the memory controller."""
+    """Computes/verifies PTE-line MACs for the memory controller.
 
-    def __init__(self, line_mac: LineMAC, max_phys_bits: int, soft_match_k: int = 0):
+    ``verify_cache_entries`` bounds the host-side memo of computed tags
+    (0 disables it — e.g. for security experiments that want every MAC
+    recomputed). Hit/miss/invalidation counts are observable through
+    :attr:`stats`.
+    """
+
+    def __init__(
+        self,
+        line_mac: LineMAC,
+        max_phys_bits: int,
+        soft_match_k: int = 0,
+        verify_cache_entries: int = 0,
+    ):
         self.line_mac = line_mac
         self.max_phys_bits = max_phys_bits
         self.soft_match_k = soft_match_k
         self.computations = 0  # MAC-unit invocations (for energy accounting)
+        self.verify_cache_entries = verify_cache_entries
+        # address -> (line bytes, tag); LRU in insertion order.
+        self._cache: "OrderedDict[int, tuple[bytes, int]] | None" = (
+            OrderedDict() if verify_cache_entries > 0 else None
+        )
+        self.stats = StatGroup("mac_engine")
 
     @property
     def mac_bits(self) -> int:
@@ -44,8 +72,32 @@ class MACEngine:
     def compute(self, line: bytes, address: int) -> int:
         """MAC over the protected bits of ``line``, bound to ``address``."""
         self.computations += 1
+        cache = self._cache
+        if cache is not None:
+            entry = cache.get(address)
+            if entry is not None and entry[0] == line:
+                self.stats.increment("verify_cache_hits")
+                cache.move_to_end(address)
+                return entry[1]
+            self.stats.increment("verify_cache_misses")
         masked = pattern.mask_unprotected(line, self.max_phys_bits)
-        return self.line_mac.compute(masked, address)
+        tag = self.line_mac.compute(masked, address)
+        if cache is not None:
+            cache[address] = (line, tag)
+            if len(cache) > self.verify_cache_entries:
+                cache.popitem(last=False)
+        return tag
+
+    def invalidate_cached(self, address: int) -> None:
+        """Drop the memoized tag for ``address`` (stored contents changed)."""
+        cache = self._cache
+        if cache is not None and cache.pop(address, None) is not None:
+            self.stats.increment("verify_cache_invalidations")
+
+    def clear_cache(self) -> None:
+        """Drop every memoized tag (key rotation, experiment boundaries)."""
+        if self._cache is not None:
+            self._cache.clear()
 
     def compute_zero_mac(self) -> int:
         """The pre-computed MAC of an all-zero line *without* address binding.

@@ -23,8 +23,8 @@ and contributes no latency, matching the paper's model.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+import random
+from typing import NamedTuple, Optional
 
 from repro.common.config import PTGuardConfig
 from repro.common.errors import CollisionBufferOverflow
@@ -40,8 +40,7 @@ IDENTIFIER_SRAM_BYTES = 7  # 56-bit identifier
 MAC_ZERO_SRAM_BYTES = 12  # 96-bit pre-computed MAC-zero
 
 
-@dataclass(frozen=True)
-class WriteOutcome:
+class WriteOutcome(NamedTuple):
     """Result of pushing one line through the guard on its way to DRAM."""
 
     stored_line: bytes
@@ -50,8 +49,7 @@ class WriteOutcome:
     zero_line: bool  # MAC-zero fast path used
 
 
-@dataclass(frozen=True)
-class ReadOutcome:
+class ReadOutcome(NamedTuple):
     """Result of pulling one line through the guard on its way from DRAM."""
 
     line: bytes  # what is forwarded to the caches / TLB
@@ -84,11 +82,10 @@ class PTGuard:
             make_line_mac(mac_algorithm, self._secret, config.mac_bits, epoch=0),
             max_phys_bits=config.max_phys_bits,
             soft_match_k=config.soft_match_k,
+            verify_cache_entries=config.mac_verify_cache_entries,
         )
         self.ctb = CollisionTrackingBuffer(config.ctb_entries)
         # The 56-bit identifier is a random value fixed at boot (Sec V-A).
-        import random
-
         self.identifier = random.Random(seed).getrandbits(pattern.ID_BITS_PER_LINE)
         self._mac_zero = self.engine.compute_zero_mac() if config.mac_zero_enabled else None
         self.correction: Optional[CorrectionEngine] = None
@@ -105,6 +102,9 @@ class PTGuard:
     def process_write(self, address: int, line: bytes) -> WriteOutcome:
         """Transform a line leaving the memory controller for DRAM."""
         self.stats.increment("writes")
+        # The stored contents of this address are about to change: drop any
+        # memoized tag so later reads re-validate against the new bytes.
+        self.engine.invalidate_cached(address)
         extended = self.config.identifier_enabled
 
         if pattern.matches_pattern(line, extended=extended):
@@ -349,12 +349,15 @@ class PTGuard:
         """
         self._epoch += 1
         self.stats.increment("rekeys")
+        # A fresh engine also starts a fresh (empty) verify cache: tags
+        # memoized under the previous key epoch can never be served again.
         self.engine = MACEngine(
             make_line_mac(
                 self.mac_algorithm, self._secret, self.config.mac_bits, epoch=self._epoch
             ),
             max_phys_bits=self.config.max_phys_bits,
             soft_match_k=self.config.soft_match_k,
+            verify_cache_entries=self.config.mac_verify_cache_entries,
         )
         self._mac_zero = (
             self.engine.compute_zero_mac() if self.config.mac_zero_enabled else None

@@ -48,15 +48,26 @@ class CoreResult:
         return per_kilo(self.llc_misses, self.instructions)
 
 
+_PAYLOAD_CACHE: dict[int, bytes] = {}
+
+
 def _store_payload(address: int) -> bytes:
     """Synthetic store data: address-derived, never pattern-matching.
 
     Bits 51:40 (the MAC field) are forced non-zero so regular data writes
     do not opportunistically receive MACs — mirroring real pointer-free
-    data, and keeping the protected-line population realistic.
+    data, and keeping the protected-line population realistic. Payloads
+    are a pure function of the address, so they are memoized.
     """
-    word = (address | 0x00FF_1000_0000_0000) & (1 << 64) - 1
-    return word.to_bytes(8, "little") * (CACHELINE_BYTES // 8)
+    payload = _PAYLOAD_CACHE.get(address)
+    if payload is None:
+        if len(_PAYLOAD_CACHE) >= 1 << 18:  # bound memory on huge footprints
+            _PAYLOAD_CACHE.clear()
+        word = (address | 0x00FF_1000_0000_0000) & (1 << 64) - 1
+        payload = _PAYLOAD_CACHE[address] = word.to_bytes(8, "little") * (
+            CACHELINE_BYTES // 8
+        )
+    return payload
 
 
 class InOrderCore:
@@ -102,12 +113,14 @@ class InOrderCore:
             self._execute(record.virtual_address, record.is_write)
 
         start_cycles, start_instructions = self._reset_window()
+        next_record = trace.next_record
+        execute = self._execute
         for _ in range(mem_ops):
-            record = trace.next_record()
-            self.instructions += record.instructions + 1  # +1 for the mem op
-            self.cycles += record.instructions
-            self._execute(record.virtual_address, record.is_write, timed=True)
-            self.mem_ops += 1
+            instructions, virtual_address, is_write = next_record()
+            self.instructions += instructions + 1  # +1 for the mem op
+            self.cycles += instructions
+            execute(virtual_address, is_write, timed=True)
+        self.mem_ops += mem_ops
         return self._result(start_cycles, start_instructions)
 
     def _reset_window(self) -> tuple[int, int]:
@@ -152,17 +165,28 @@ class InOrderCore:
         else:
             result = self.hierarchy.read(line_address)
         if timed:
-            stall = max(0, result.latency_cycles - self.l1_hit_latency)
-            self.cycles += stall
+            stall = result.latency_cycles - self.l1_hit_latency
+            if stall > 0:
+                self.cycles += stall
             self.hierarchy.cycle = self.cycles
 
     def _translate(self, virtual_address: int, timed: bool) -> int:
+        # Fast path: probe the TLB directly — the common hit needs only the
+        # PFN, not a full WalkResult. The walker re-probing is suppressed
+        # (tlb_checked) so hit/miss counters match the one-probe-per-attempt
+        # accounting of the plain walker path.
+        process = self.process
+        entry = self.walker.tlb.lookup(process.asid, virtual_address >> 12)
+        if entry is not None:
+            return entry.pfn * PAGE_BYTES + (virtual_address & (PAGE_BYTES - 1))
+        tlb_checked = True
         while True:
             try:
                 walk = self.walker.translate(
-                    self.process.asid,
-                    self.process.page_table.root_pfn,
+                    process.asid,
+                    process.page_table.root_pfn,
                     virtual_address,
+                    tlb_checked=tlb_checked,
                 )
                 if timed and not walk.tlb_hit:
                     # The walk's memory latency stalls the in-order pipe.
@@ -173,3 +197,4 @@ class InOrderCore:
                 # Demand-paging faults are OS work outside the timed window
                 # (the paper fast-forwards past them with KVM).
                 self.kernel.handle_page_fault(self.process, virtual_address)
+                tlb_checked = False

@@ -164,32 +164,27 @@ class MulticoreSimulator:
         # Patch contention in: wrap the controller so each DRAM access adds
         # the channel queueing delay of the issuing core's current cycle.
         controller = self.system.controller
-        original_read = controller._read
-        original_write = controller._write
+        original_read = controller.read_access
+        original_write = controller.write_access
         active_core: Dict[str, Optional[InOrderCore]] = {"core": None}
         channel = self.channel
 
-        def contended_read(request):
-            response = original_read(request)
+        def contended_read(address, is_pte=False, cycle=0):
+            response = original_read(address, is_pte, cycle)
             core = active_core["core"]
             delay = channel.occupy(core.cycles if core else 0)
-            return type(response)(
-                data=response.data,
-                latency_cycles=response.latency_cycles + delay,
-                pte_check_failed=response.pte_check_failed,
-                corrected=response.corrected,
-                rekey_required=response.rekey_required,
-                guard_outcome=response.guard_outcome,
+            return response._replace(
+                latency_cycles=response.latency_cycles + delay
             )
 
-        def contended_write(request):
-            response = original_write(request)
+        def contended_write(address, data, cycle=0, origin=None):
+            response = original_write(address, data, cycle, origin)
             core = active_core["core"]
             channel.occupy(core.cycles if core else 0)  # writes occupy too
             return response
 
-        controller._read = contended_read  # type: ignore[method-assign]
-        controller._write = contended_write  # type: ignore[method-assign]
+        controller.read_access = contended_read  # type: ignore[method-assign]
+        controller.write_access = contended_write  # type: ignore[method-assign]
         try:
             remaining = [mem_ops_per_core] * len(self.cores)
             while any(remaining):
@@ -204,8 +199,8 @@ class MulticoreSimulator:
                     core.mem_ops += 1
                     remaining[index] -= 1
         finally:
-            controller._read = original_read  # type: ignore[method-assign]
-            controller._write = original_write  # type: ignore[method-assign]
+            del controller.read_access  # type: ignore[method-assign]
+            del controller.write_access  # type: ignore[method-assign]
             active_core["core"] = None
 
         return MulticoreResult(

@@ -16,6 +16,7 @@ consumes.
 from __future__ import annotations
 
 import hashlib
+import zlib
 from typing import Protocol
 
 from repro.crypto.qarma import Qarma128
@@ -153,8 +154,6 @@ class PseudoLineMAC:
         self._mask = (1 << mac_bits) - 1
 
     def compute(self, line: bytes, address: int) -> int:
-        import zlib
-
         if len(line) != CACHELINE_BYTES:
             raise ValueError(f"line must be {CACHELINE_BYTES} bytes")
         crc = zlib.crc32(line, (self._seed ^ address) & 0xFFFFFFFF)

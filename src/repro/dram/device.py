@@ -69,6 +69,11 @@ class DRAMDevice:
             seed=seed,
         )
         self.stats = StatGroup("dram")
+        self._counters = self.stats.raw()  # inlined hot-path updates
+        timing = config.timing
+        self._row_hit_cycles = timing.row_hit_cycles
+        self._row_miss_cycles = timing.row_miss_cycles
+        self._row_conflict_cycles = timing.row_conflict_cycles
         # Skip fault-model bookkeeping entirely for invulnerable modules
         # (pure timing runs) — it is per-activation overhead.
         self._rowhammer_active = profile.flip_probability > 0.0
@@ -88,23 +93,36 @@ class DRAMDevice:
         row_key = self.mapper.row_key_of(address)
         bank = row_key[:3]
         row = row_key[3]
-        timing = self.config.timing
+        counters = self._counters
         open_row = self._open_rows.get(bank)
 
         if open_row == row:
-            self.stats.increment("row_hits")
-            latency = timing.row_hit_cycles
+            try:
+                counters["row_hits"] += 1
+            except KeyError:
+                counters["row_hits"] = 1
+            latency = self._row_hit_cycles
         else:
             if open_row is None:
-                self.stats.increment("row_misses")
-                latency = timing.row_miss_cycles
+                try:
+                    counters["row_misses"] += 1
+                except KeyError:
+                    counters["row_misses"] = 1
+                latency = self._row_miss_cycles
             else:
-                self.stats.increment("row_conflicts")
-                latency = timing.row_conflict_cycles
+                try:
+                    counters["row_conflicts"] += 1
+                except KeyError:
+                    counters["row_conflicts"] = 1
+                latency = self._row_conflict_cycles
             self._open_rows[bank] = row
             self._activate(row_key, cycle)
 
-        self.stats.increment("writes" if is_write else "reads")
+        name = "writes" if is_write else "reads"
+        try:
+            counters[name] += 1
+        except KeyError:
+            counters[name] = 1
         return latency
 
     def _activate(self, row_key: RowKey, cycle: int) -> None:

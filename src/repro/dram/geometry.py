@@ -65,17 +65,24 @@ class AddressMapper:
                 f"inconsistent DRAM geometry: 2^{self.address_bits} != "
                 f"{config.size_bytes}"
             )
+        # Precomputed field masks/shift for row_key_of (one call per DRAM
+        # access — avoid rebuilding masks each time).
+        self._rk_shift = self._offset_bits + self._column_bits
+        self._channel_mask = mask(self._channel_bits)
+        self._bank_mask = mask(self._bank_bits)
+        self._rank_mask = mask(self._rank_bits)
+        self._row_mask = mask(self._row_bits)
 
     def row_key_of(self, physical_address: int) -> tuple[int, int, int, int]:
         """Fast path: (channel, rank, bank, row) without object creation."""
-        value = physical_address >> (self._offset_bits + self._column_bits)
-        channel = value & mask(self._channel_bits)
+        value = physical_address >> self._rk_shift
+        channel = value & self._channel_mask
         value >>= self._channel_bits
-        bank = value & mask(self._bank_bits)
+        bank = value & self._bank_mask
         value >>= self._bank_bits
-        rank = value & mask(self._rank_bits)
+        rank = value & self._rank_mask
         value >>= self._rank_bits
-        row = value & mask(self._row_bits)
+        row = value & self._row_mask
         return (channel, rank, bank, row)
 
     def decompose(self, physical_address: int) -> DRAMCoordinate:

@@ -13,8 +13,8 @@ baseline of the evaluation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
+from typing import NamedTuple, Optional
 
 from typing import TYPE_CHECKING
 
@@ -48,9 +48,8 @@ class MemoryRequest:
             raise ValueError("write requests need a full 64-byte data payload")
 
 
-@dataclass(frozen=True)
-class MemoryResponse:
-    """The controller's reply."""
+class MemoryResponse(NamedTuple):
+    """The controller's reply (a NamedTuple: built once per access, hot path)."""
 
     data: Optional[bytes]  # line forwarded to caches (None for writes)
     latency_cycles: int  # DRAM + MAC-unit latency on the critical path
@@ -81,21 +80,32 @@ class MemoryController:
     def access(self, request: MemoryRequest) -> MemoryResponse:
         """Serve one request; returns data (reads) and total latency."""
         if request.is_write:
-            return self._write(request)
-        return self._read(request)
+            return self.write_access(
+                request.address, request.data, request.cycle, request.origin
+            )
+        return self.read_access(request.address, request.is_pte, request.cycle)
 
     # -- write path -----------------------------------------------------------
 
-    def _write(self, request: MemoryRequest) -> MemoryResponse:
+    def write_access(
+        self,
+        address: int,
+        data: Optional[bytes],
+        cycle: int = 0,
+        origin: Optional[object] = None,
+    ) -> MemoryResponse:
+        """Request-free write path (same semantics as a write ``access``)."""
+        if address % CACHELINE_BYTES:
+            raise ValueError(f"request address {address:#x} not line-aligned")
+        if data is None or len(data) != CACHELINE_BYTES:
+            raise ValueError("write requests need a full 64-byte data payload")
         self.stats.increment("writes")
-        latency = self.dram.access(request.address, is_write=True, cycle=request.cycle)
+        latency = self.dram.access(address, is_write=True, cycle=cycle)
         rekey_required = False
         overflow_address = None
-        data = request.data
-        assert data is not None
         if self.ptguard is not None:
             try:
-                outcome = self.ptguard.process_write(request.address, data)
+                outcome = self.ptguard.process_write(address, data)
                 data = outcome.stored_line
             except CollisionBufferOverflow:
                 # Sec VII-B: store the raw line and raise the condition to
@@ -104,14 +114,14 @@ class MemoryController:
                 # and trigger the re-key sweep.
                 self.stats.increment("ctb_overflows")
                 rekey_required = True
-                overflow_address = request.address
-        self.dram.write_line(request.address, data)
+                overflow_address = address
+        self.dram.write_line(address, data)
         # Only foreign stores (kernel port, DMA-style agents) invalidate
         # cached copies; a cache write-back (origin set) must not discard
         # other caches' possibly-newer copies of the line.
-        if request.origin is None:
+        if origin is None:
             for cache in self._coherence_listeners:
-                cache.discard(request.address)
+                cache.discard(address)
         return MemoryResponse(
             data=None,
             latency_cycles=latency,
@@ -121,18 +131,23 @@ class MemoryController:
 
     # -- read path ---------------------------------------------------------------
 
-    def _read(self, request: MemoryRequest) -> MemoryResponse:
-        self.stats.increment("pte_reads" if request.is_pte else "reads")
-        latency = self.dram.access(request.address, is_write=False, cycle=request.cycle)
-        stored = self.dram.read_line(request.address)
+    def read_access(
+        self, address: int, is_pte: bool = False, cycle: int = 0
+    ) -> MemoryResponse:
+        """Request-free read path (same semantics as a read ``access``)."""
+        if address % CACHELINE_BYTES:
+            raise ValueError(f"request address {address:#x} not line-aligned")
+        self.stats.increment("pte_reads" if is_pte else "reads")
+        latency = self.dram.access(address, is_write=False, cycle=cycle)
+        stored = self.dram.read_line(address)
         if self.ptguard is None:
             return MemoryResponse(data=stored, latency_cycles=latency)
 
-        outcome = self.ptguard.process_read(request.address, stored, request.is_pte)
+        outcome = self.ptguard.process_read(address, stored, is_pte)
         latency += outcome.latency_cycles
         if outcome.corrected_stored_line is not None:
             # Transparent repair: scrub the corrected line back into DRAM.
-            self.dram.write_line(request.address, outcome.corrected_stored_line)
+            self.dram.write_line(address, outcome.corrected_stored_line)
             self.stats.increment("correction_writebacks")
         if outcome.pte_check_failed:
             self.stats.increment("pte_check_failures")
@@ -147,7 +162,7 @@ class MemoryController:
     # -- convenience functional helpers (used by the OS substrate) -----------------
 
     def read_line(self, address: int, is_pte: bool = False) -> MemoryResponse:
-        return self.access(MemoryRequest(address=address, is_write=False, is_pte=is_pte))
+        return self.read_access(address, is_pte)
 
     def write_line(self, address: int, data: bytes) -> MemoryResponse:
-        return self.access(MemoryRequest(address=address, is_write=True, data=data))
+        return self.write_access(address, data)

@@ -35,14 +35,22 @@ class TLB:
         self.capacity = entries
         self._entries: OrderedDict[Tuple[int, int], TLBEntry] = OrderedDict()
         self.stats = StatGroup("tlb")
+        self._counters = self.stats.raw()  # inlined hot-path updates
 
     def lookup(self, asid: int, vpn: int) -> Optional[TLBEntry]:
         key = (asid, vpn)
         entry = self._entries.get(key)
+        counters = self._counters
         if entry is None:
-            self.stats.increment("misses")
+            try:
+                counters["misses"] += 1
+            except KeyError:
+                counters["misses"] = 1
             return None
-        self.stats.increment("hits")
+        try:
+            counters["hits"] += 1
+        except KeyError:
+            counters["hits"] = 1
         self._entries.move_to_end(key)
         return entry
 

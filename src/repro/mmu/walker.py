@@ -11,8 +11,7 @@ in the TLB.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Protocol
+from typing import NamedTuple, Optional, Protocol
 
 from repro.common.config import CACHELINE_BYTES, PAGE_BYTES
 from repro.common.errors import IntegrityError, PageFaultError
@@ -30,8 +29,7 @@ class WalkPort(Protocol):
         ...
 
 
-@dataclass(frozen=True)
-class PortResult:
+class PortResult(NamedTuple):
     data: bytes
     latency_cycles: int
     pte_check_failed: bool = False
@@ -72,8 +70,7 @@ class PTEIntegrityException(IntegrityError):
         )
 
 
-@dataclass(frozen=True)
-class WalkResult:
+class WalkResult(NamedTuple):
     """A completed translation."""
 
     pfn: int
@@ -100,20 +97,26 @@ class PageWalker:
         self.stats = StatGroup("walker")
 
     def translate(
-        self, asid: int, root_pfn: int, virtual_address: int
+        self, asid: int, root_pfn: int, virtual_address: int, tlb_checked: bool = False
     ) -> WalkResult:
         """Translate ``virtual_address``; may raise PageFaultError or
-        PTEIntegrityException."""
+        PTEIntegrityException.
+
+        ``tlb_checked=True`` skips the TLB probe — for callers (the core's
+        hot path) that already probed it themselves and missed, so the
+        TLB's hit/miss counters see exactly one probe per attempt.
+        """
         vpn = vpn_of(virtual_address)
-        cached = self.tlb.lookup(asid, vpn)
-        if cached is not None:
-            return WalkResult(
-                pfn=cached.pfn,
-                entry=cached,
-                latency_cycles=self.tlb_hit_latency,
-                tlb_hit=True,
-                levels_walked=0,
-            )
+        if not tlb_checked:
+            cached = self.tlb.lookup(asid, vpn)
+            if cached is not None:
+                return WalkResult(
+                    pfn=cached.pfn,
+                    entry=cached,
+                    latency_cycles=self.tlb_hit_latency,
+                    tlb_hit=True,
+                    levels_walked=0,
+                )
         self.stats.increment("walks")
         latency = self.tlb_hit_latency
         table_pfn = root_pfn
