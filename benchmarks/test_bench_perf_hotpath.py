@@ -41,9 +41,12 @@ SEED_BASELINE_ACC_PER_SEC = {
 def _run_workload(mac_algorithm: str, mem_ops: int, warmup_ops: int,
                   verify_cache: bool = True) -> dict:
     """One fig6-style timed window; returns host + simulated metrics."""
-    config = optimized_ptguard_config()
-    if not verify_cache:
-        config = replace(config, mac_verify_cache_entries=0)
+    # The verify cache defaults to off; size it explicitly here so the
+    # bench keeps measuring (and invariance-checking) both states.
+    config = replace(
+        optimized_ptguard_config(),
+        mac_verify_cache_entries=4096 if verify_cache else 0,
+    )
     system = build_system(ptguard=config, mac_algorithm=mac_algorithm, seed=2023)
     profile = get_workload(WORKLOAD)
     process, trace = system.workload_process(profile, seed=11)

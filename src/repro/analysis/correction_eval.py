@@ -185,24 +185,48 @@ class Figure9Result:
         raise KeyError((workload, p_flip))
 
 
+def figure9_cell_job(
+    workload: str,
+    p_flip: float,
+    max_lines: int,
+    trials_per_line: int,
+    seed: int,
+) -> "SimJob":
+    """The :class:`SimJob` form of one :func:`evaluate_workload` cell.
+
+    The seed sits in the params (hence in the content-addressed key), so
+    the cell's fault-injection RNG stream is fixed by the job identity,
+    not by which worker or run order executes it.
+    """
+    from repro.harness.parallel import SimJob
+
+    return SimJob(
+        kind="figure9_cell",
+        params={
+            "workload": workload,
+            "p_flip": p_flip,
+            "max_lines": max_lines,
+            "trials_per_line": trials_per_line,
+            "seed": seed,
+        },
+    )
+
+
 def run_figure9(
     workloads=FIGURE9_WORKLOADS,
     p_flips=P_FLIP_POINTS,
     max_lines: int = 300,
     trials_per_line: int = 3,
     seed: int = 7,
+    workers: Optional[int] = None,
+    cache=None,
 ) -> Figure9Result:
-    """Full Figure-9 reproduction."""
-    cells = []
-    for workload in workloads:
-        for p_flip in p_flips:
-            cells.append(
-                evaluate_workload(
-                    workload,
-                    p_flip,
-                    max_lines=max_lines,
-                    trials_per_line=trials_per_line,
-                    seed=seed,
-                )
-            )
-    return Figure9Result(cells=cells)
+    """Full Figure-9 reproduction, one job per (workload, p_flip) cell."""
+    from repro.harness.parallel import run_jobs
+
+    jobs = [
+        figure9_cell_job(workload, p_flip, max_lines, trials_per_line, seed)
+        for workload in workloads
+        for p_flip in p_flips
+    ]
+    return Figure9Result(cells=run_jobs(jobs, workers=workers, cache=cache))

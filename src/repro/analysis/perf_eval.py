@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.common.config import PTGuardConfig, optimized_ptguard_config
 from repro.cpu.core import CoreResult
 from repro.cpu.workloads import WORKLOADS, WorkloadProfile, get_workload
+from repro.harness.parallel import ResultCache, SimJob, guard_config_params, run_jobs
 from repro.harness.system import build_system
 
 
@@ -82,6 +83,7 @@ def run_workload(
     warmup_ops: int = 12_000,
     seed: int = 1,
     prefault: bool = False,
+    mac_algorithm: str = "pseudo",
 ) -> CoreResult:
     """Simulate one workload on one machine configuration.
 
@@ -91,13 +93,43 @@ def run_workload(
     window either way, and the baseline/guarded runs see identical
     streams, so slowdown ratios are unaffected while runs start ~2s
     faster on large-footprint workloads.
+
+    The result is a pure function of the arguments (a fresh system is
+    built per call), which is what lets :func:`workload_job` run cells
+    in any process and cache them content-addressed.
     """
-    system = build_system(ptguard=guard_config, mac_algorithm="pseudo", seed=seed)
+    system = build_system(ptguard=guard_config, mac_algorithm=mac_algorithm, seed=seed)
     process, trace = system.workload_process(profile, seed=seed)
     core = system.new_core(process)
     if prefault:
         core.prefault(trace)
     return core.run(trace, mem_ops=mem_ops, warmup_ops=warmup_ops)
+
+
+def workload_job(
+    workload: str,
+    guard_config: Optional[PTGuardConfig],
+    mem_ops: int,
+    warmup_ops: int,
+    seed: int,
+) -> SimJob:
+    """The :class:`SimJob` equivalent of one :func:`run_workload` call.
+
+    The seed lands in the job params — part of the cache key, fixed by
+    the emitter — so serial, parallel and cached runs of the same cell
+    are bit-identical by construction.
+    """
+    return SimJob(
+        kind="workload_run",
+        params={
+            "workload": workload,
+            "config": guard_config_params(guard_config),
+            "mem_ops": mem_ops,
+            "warmup_ops": warmup_ops,
+            "seed": seed,
+            "mac_algorithm": "pseudo",
+        },
+    )
 
 
 def run_figure6(
@@ -107,27 +139,38 @@ def run_figure6(
     mac_latency: int = 10,
     include_optimized: bool = True,
     seed: int = 1,
+    workers: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
 ) -> List[Figure6Row]:
-    """Figure 6: per-workload normalized IPC + MPKI at the default latency."""
+    """Figure 6: per-workload normalized IPC + MPKI at the default latency.
+
+    Emits one job per (workload, configuration) cell and fans them out
+    over ``workers`` processes (:func:`repro.harness.parallel.run_jobs`);
+    results reassemble in job order, so the rows — and any report built
+    from them — are identical at every worker count.
+    """
     profiles = (
         [get_workload(name) for name in workload_names]
         if workload_names is not None
         else list(WORKLOADS)
     )
+    configs: List[Optional[PTGuardConfig]] = [
+        None,
+        PTGuardConfig(mac_latency_cycles=mac_latency),
+    ]
+    if include_optimized:
+        configs.append(optimized_ptguard_config(mac_latency))
+    jobs = [
+        workload_job(profile.name, config, mem_ops, warmup_ops, seed)
+        for profile in profiles
+        for config in configs
+    ]
+    results = run_jobs(jobs, workers=workers, cache=cache)
     rows: List[Figure6Row] = []
-    for profile in profiles:
-        base = run_workload(profile, None, mem_ops, warmup_ops, seed)
-        guarded = run_workload(
-            profile, PTGuardConfig(mac_latency_cycles=mac_latency),
-            mem_ops, warmup_ops, seed,
-        )
-        optimized = (
-            run_workload(
-                profile, optimized_ptguard_config(mac_latency), mem_ops, warmup_ops, seed
-            )
-            if include_optimized
-            else None
-        )
+    stride = len(configs)
+    for position, profile in enumerate(profiles):
+        base, guarded = results[position * stride], results[position * stride + 1]
+        optimized = results[position * stride + 2] if include_optimized else None
         rows.append(
             Figure6Row(
                 workload=profile.name,
@@ -159,30 +202,48 @@ def run_figure7(
     mem_ops: int = 20_000,
     warmup_ops: int = 12_000,
     seed: int = 1,
+    workers: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
 ) -> List[Figure7Point]:
     """Figure 7: slowdown vs MAC-computation latency, both designs.
 
-    Baselines are simulated once per workload and reused across the sweep.
+    Baselines are simulated once per workload and reused across the
+    sweep; every cell — baseline or sweep point — is one job, so the
+    whole grid fans out at once.
     """
     profiles = (
         [get_workload(name) for name in workload_names]
         if workload_names is not None
         else list(WORKLOADS)
     )
-    baselines: Dict[str, CoreResult] = {
-        p.name: run_workload(p, None, mem_ops, warmup_ops, seed) for p in profiles
-    }
-    points: List[Figure7Point] = []
-    for design in ("ptguard", "optimized"):
+    designs = ("ptguard", "optimized")
+    jobs = [
+        workload_job(profile.name, None, mem_ops, warmup_ops, seed)
+        for profile in profiles
+    ]
+    for design in designs:
         for latency in latencies:
-            slowdowns = []
             for profile in profiles:
                 config = (
                     PTGuardConfig(mac_latency_cycles=latency)
                     if design == "ptguard"
                     else optimized_ptguard_config(latency)
                 )
-                result = run_workload(profile, config, mem_ops, warmup_ops, seed)
+                jobs.append(
+                    workload_job(profile.name, config, mem_ops, warmup_ops, seed)
+                )
+    results = run_jobs(jobs, workers=workers, cache=cache)
+    baselines: Dict[str, CoreResult] = {
+        p.name: results[position] for position, p in enumerate(profiles)
+    }
+    cursor = len(profiles)
+    points: List[Figure7Point] = []
+    for design in designs:
+        for latency in latencies:
+            slowdowns = []
+            for profile in profiles:
+                result = results[cursor]
+                cursor += 1
                 base_ipc = baselines[profile.name].ipc
                 slowdowns.append(
                     (profile.name, (base_ipc / result.ipc - 1.0) * 100.0)

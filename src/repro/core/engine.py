@@ -11,12 +11,21 @@ Wraps a :class:`repro.crypto.mac.LineMAC` with the PT-Guard specifics:
 
 A host-side **verify cache** (a bounded LRU keyed by line address,
 validated against the exact line bytes) memoizes :meth:`MACEngine.compute`:
-trace-driven runs re-read the same PTE lines constantly, and the MAC of an
-unchanged (line, address) pair is deterministic. The cache is a pure
-simulator-speed optimisation — ``computations`` (the simulated MAC-unit
-invocation count used for energy accounting) and every verification
-outcome are identical with the cache on or off. A Rowhammer flip in DRAM
-changes the line bytes, misses the cache, and is recomputed honestly.
+the MAC of an unchanged (line, address) pair is deterministic. The cache
+is a pure simulator-speed optimisation — ``computations`` (the simulated
+MAC-unit invocation count used for energy accounting) and every
+verification outcome are identical with the cache on or off. A Rowhammer
+flip in DRAM changes the line bytes, misses the cache, and is recomputed
+honestly.
+
+It is **disabled by default** (``PTGuardConfig.mac_verify_cache_entries
+= 0``): on trace-driven timing runs the guard almost only re-sees a PTE
+line at the DRAM boundary immediately after a write-back — which
+invalidates the memo — so measured hit rates are ~0.1% and the lookup
+bookkeeping outweighs the saved MAC work (see ``BENCH_hotpath.json``).
+Enable it for read-dominated re-verification of unchanging lines under
+an expensive backend (e.g. repeated qarma verification sweeps over a
+fixed memory snapshot), where it wins by construction.
 """
 
 from __future__ import annotations

@@ -246,6 +246,28 @@ def multicore_slowdown(
     return (base.system_ipc / guarded.system_ipc - 1.0) * 100.0
 
 
+def slowdown_job(
+    workload_names: Sequence[str],
+    mem_ops_per_core: int = 6000,
+    mac_latency: int = 10,
+    seed: int = 3,
+):
+    """The :class:`~repro.harness.parallel.SimJob` form of one
+    :func:`multicore_slowdown` datapoint (baseline + guarded pair run
+    inside the job; the returned result is the slowdown percentage)."""
+    from repro.harness.parallel import SimJob  # keep the back-edge lazy
+
+    return SimJob(
+        kind="multicore_slowdown",
+        params={
+            "mix": list(workload_names),
+            "mem_ops_per_core": mem_ops_per_core,
+            "mac_latency": mac_latency,
+            "seed": seed,
+        },
+    )
+
+
 def make_same_mix(workload: str) -> List[str]:
     """SAME configuration: four instances of one workload."""
     return [workload] * 4

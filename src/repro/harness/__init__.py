@@ -1,5 +1,20 @@
 """System assembly and experiment harness."""
 
+from repro.harness.parallel import (
+    ResultCache,
+    SimJob,
+    SimJobError,
+    default_workers,
+    run_jobs,
+)
 from repro.harness.system import System, build_system
 
-__all__ = ["System", "build_system"]
+__all__ = [
+    "System",
+    "build_system",
+    "ResultCache",
+    "SimJob",
+    "SimJobError",
+    "default_workers",
+    "run_jobs",
+]

@@ -14,7 +14,7 @@ full scale.
 from __future__ import annotations
 
 import os
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.analysis import (
     ascii_bars,
@@ -32,6 +32,7 @@ from repro.analysis.correction_eval import FIGURE9_WORKLOADS, P_FLIP_POINTS
 from repro.common.config import PTGuardConfig, optimized_ptguard_config
 from repro.core import security
 from repro.core.guard import PTGuard
+from repro.harness.parallel import ResultCache
 from repro.mmu.pte import ARMV8_LAYOUT, X86_64_LAYOUT
 
 
@@ -41,6 +42,19 @@ def env_scale(default: float = 1.0) -> float:
         return float(os.environ.get("REPRO_SCALE", default))
     except ValueError:
         return default
+
+
+def scaled_process_count(
+    scale: float, base: int = 623, floor: int = 20, cap: int = 1400
+) -> int:
+    """Process-population size for Figure 8 at a given scale.
+
+    ``base`` is the paper's 623-process Ubuntu profile; small scales are
+    floored at ``floor`` so the statistics stay meaningful and large
+    scales are clamped at ``cap`` (beyond which the 4 GB simulated DRAM
+    starts rejecting allocations).
+    """
+    return max(floor, min(cap, int(base * scale)))
 
 
 def experiment_tables_1_2() -> str:
@@ -67,11 +81,18 @@ def experiment_tables_1_2() -> str:
     return "\n".join(lines)
 
 
-def experiment_figure6(scale: float = 1.0, workloads: Optional[Sequence[str]] = None) -> str:
+def experiment_figure6(
+    scale: float = 1.0,
+    workloads: Optional[Sequence[str]] = None,
+    workers: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+) -> str:
     """Figure 6: normalized IPC + MPKI across the 25 workloads."""
     mem_ops = int(20_000 * scale)
     warmup = int(12_000 * scale)
-    rows = run_figure6(workloads, mem_ops=mem_ops, warmup_ops=warmup)
+    rows = run_figure6(
+        workloads, mem_ops=mem_ops, warmup_ops=warmup, workers=workers, cache=cache
+    )
     summary = summarize_figure6(rows)
     out = [banner("Figure 6: PT-Guard normalized IPC and LLC MPKI")]
     out.append(
@@ -119,14 +140,21 @@ def experiment_figure6(scale: float = 1.0, workloads: Optional[Sequence[str]] = 
     return "\n".join(out)
 
 
-def experiment_figure7(scale: float = 1.0, workloads: Optional[Sequence[str]] = None) -> str:
+def experiment_figure7(
+    scale: float = 1.0,
+    workloads: Optional[Sequence[str]] = None,
+    workers: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+) -> str:
     """Figure 7: slowdown vs MAC latency for both designs."""
     mem_ops = int(20_000 * scale)
     warmup = int(12_000 * scale)
     if workloads is None:
         # Default to a representative subset: full 25 x 8 runs is slow.
         workloads = ["xalancbmk", "lbm", "mcf", "pr", "bwaves", "xz", "povray", "namd"]
-    points = run_figure7(workloads, mem_ops=mem_ops, warmup_ops=warmup)
+    points = run_figure7(
+        workloads, mem_ops=mem_ops, warmup_ops=warmup, workers=workers, cache=cache
+    )
     out = [banner("Figure 7: slowdown vs MAC-computation latency")]
     out.append(
         format_table(
@@ -152,9 +180,7 @@ def experiment_figure7(scale: float = 1.0, workloads: Optional[Sequence[str]] = 
 
 def experiment_figure8(scale: float = 1.0) -> str:
     """Figure 8: PTE PFN-category distribution over the process population."""
-    num = max(20, int(623 * min(scale, 1.0))) if scale < 1.0 else int(623 * scale) if scale > 1.0 else 623
-    num = min(num, 1400)
-    profile = run_figure8(num_processes=num)
+    profile = run_figure8(num_processes=scaled_process_count(scale))
     out = [banner(f"Figure 8: PTE locality over {len(profile.processes)} processes")]
     rows = []
     for category, paper in (("zero", 64.13), ("contiguous", 23.73), ("non_contiguous", 12.14)):
@@ -181,13 +207,24 @@ def experiment_figure8(scale: float = 1.0) -> str:
     return "\n".join(out)
 
 
-def experiment_figure9(scale: float = 1.0) -> str:
+def experiment_figure9(
+    scale: float = 1.0,
+    workloads: Sequence[str] = FIGURE9_WORKLOADS,
+    workers: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+) -> str:
     """Figure 9: fraction of faulty PTE lines corrected per p_flip."""
     max_lines = int(200 * scale)
-    result = run_figure9(max_lines=max_lines, trials_per_line=3)
+    result = run_figure9(
+        workloads=workloads,
+        max_lines=max_lines,
+        trials_per_line=3,
+        workers=workers,
+        cache=cache,
+    )
     out = [banner("Figure 9: best-effort correction of faulty PTE cachelines")]
     rows = []
-    for workload in FIGURE9_WORKLOADS:
+    for workload in workloads:
         row = [workload]
         for p_flip in P_FLIP_POINTS:
             cell = result.cell(workload, p_flip)
@@ -289,23 +326,35 @@ def experiment_attack_matrix() -> str:
     return "\n".join(out)
 
 
-def experiment_multicore(scale: float = 1.0) -> str:
+def experiment_multicore(
+    scale: float = 1.0,
+    workers: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+) -> str:
     """Section VII-C: 4-core slowdown (SAME and MIX)."""
-    from repro.cpu.multicore import make_random_mix, make_same_mix, multicore_slowdown
+    from repro.cpu.multicore import make_random_mix, make_same_mix, slowdown_job
+    from repro.harness.parallel import run_jobs
 
     mem_ops = int(4000 * scale)
     out = [banner("Section VII-C: 4-core slowdown")]
-    rows = []
-    slowdowns = []
-    for name in ("lbm", "xalancbmk", "xz", "namd"):
-        s = multicore_slowdown(make_same_mix(name), mem_ops_per_core=mem_ops)
-        rows.append((f"SAME-{name}", round(s, 2)))
-        slowdowns.append(s)
+    labelled = [
+        (f"SAME-{name}", slowdown_job(make_same_mix(name), mem_ops_per_core=mem_ops))
+        for name in ("lbm", "xalancbmk", "xz", "namd")
+    ]
     for seed in (1, 2):
         mix = make_random_mix(seed)
-        s = multicore_slowdown(mix, mem_ops_per_core=mem_ops, seed=seed)
-        rows.append((f"MIX-{seed} ({','.join(mix)})", round(s, 2)))
-        slowdowns.append(s)
+        labelled.append(
+            (
+                f"MIX-{seed} ({','.join(mix)})",
+                slowdown_job(mix, mem_ops_per_core=mem_ops, seed=seed),
+            )
+        )
+    slowdowns = run_jobs(
+        [job for _, job in labelled], workers=workers, cache=cache
+    )
+    rows = [
+        (label, round(s, 2)) for (label, _), s in zip(labelled, slowdowns)
+    ]
     out.append(format_table(["configuration", "slowdown %"], rows))
     out.append(
         f"average: {sum(slowdowns) / len(slowdowns):.2f}% | worst: "

@@ -1,0 +1,355 @@
+"""Parallel experiment fabric: job fan-out + content-addressed result cache.
+
+The paper's evaluation is a grid of *independent* simulations (Fig 6 is
+25 workloads x 3 configurations, Fig 7 is workloads x MAC latencies x 2
+designs, Fig 9 is workloads x p_flip). Each cell builds its own
+:class:`~repro.harness.system.System` from nothing but its parameters
+and a seed, so cells can run in any order, in any process, and be
+replayed from a cache — the results are a pure function of the job.
+
+Three pieces:
+
+* :class:`SimJob` — a picklable description of one simulation cell:
+  a ``kind`` (dispatch key into the job registry) plus a flat, JSON-able
+  ``params`` mapping. Its :meth:`SimJob.key` is a stable SHA-256 over
+  the canonical JSON of (schema version, kind, params); the seed is part
+  of ``params``, chosen by the *emitter*, never by execution order — the
+  determinism argument in one line.
+* :func:`run_jobs` — executes a job list and returns results **in job
+  order**. ``workers=1`` runs fully in-process (debuggable with pdb);
+  ``workers>1`` shards jobs round-robin by index over a
+  ``multiprocessing`` pool (deterministic assignment, deterministic
+  reassembly). A job that raises anywhere surfaces as
+  :class:`SimJobError` carrying the worker traceback — never a hang.
+* :class:`ResultCache` — an on-disk, content-addressed store of encoded
+  results keyed by :meth:`SimJob.key`. Any change to the config, the
+  workload, the op counts, the seed or :data:`CACHE_SCHEMA_VERSION`
+  changes the key, so stale entries are unreachable rather than
+  invalidated.
+
+Every result — cached or fresh, serial or parallel — passes through the
+same encode/decode pair, so all execution modes hand back *identical*
+objects and downstream report strings are byte-identical.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import os
+import pathlib
+import traceback
+from dataclasses import asdict, dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+CACHE_SCHEMA_VERSION = 1
+
+
+class SimJobError(RuntimeError):
+    """A simulation job raised; carries the job identity and the worker
+    traceback so parallel failures read like serial ones."""
+
+
+@dataclass(frozen=True)
+class SimJob:
+    """One simulation cell: ``kind`` dispatches, ``params`` parameterise.
+
+    ``params`` must be JSON-able primitives (str/int/float/bool/None,
+    lists, flat dicts) — that is what makes the job picklable for the
+    pool *and* hashable for the cache with one canonical form.
+    """
+
+    kind: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def canonical(self) -> str:
+        """Stable serialisation: the content that is addressed."""
+        return json.dumps(
+            {
+                "schema": CACHE_SCHEMA_VERSION,
+                "kind": self.kind,
+                "params": self.params,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+
+    def key(self) -> str:
+        return hashlib.sha256(self.canonical().encode("utf-8")).hexdigest()
+
+
+# -- job registry -------------------------------------------------------------
+#
+# kind -> (run, encode, decode). ``run(params) -> result`` does the
+# simulation; ``encode`` maps the result to a JSON-able payload and
+# ``decode`` inverts it. run_jobs round-trips *every* result through
+# encode/decode so cached and fresh results are indistinguishable.
+
+JobSpec = Tuple[
+    Callable[[Mapping[str, Any]], Any],
+    Callable[[Any], Any],
+    Callable[[Any], Any],
+]
+
+_REGISTRY: Dict[str, JobSpec] = {}
+
+
+def register_job_kind(
+    kind: str,
+    run: Callable[[Mapping[str, Any]], Any],
+    encode: Callable[[Any], Any] = lambda result: result,
+    decode: Callable[[Any], Any] = lambda payload: payload,
+) -> None:
+    """Register a job kind. Built-in kinds are registered below; tests may
+    add their own (visible to pool workers under the ``fork`` start
+    method, which Linux provides)."""
+    _REGISTRY[kind] = (run, encode, decode)
+
+
+def _spec(kind: str) -> JobSpec:
+    try:
+        return _REGISTRY[kind]
+    except KeyError:
+        raise SimJobError(f"unknown job kind {kind!r}") from None
+
+
+def execute_job(job: SimJob) -> Any:
+    """Run one job and return its *encoded* payload."""
+    run, encode, _ = _spec(job.kind)
+    return encode(run(job.params))
+
+
+def decode_result(job: SimJob, payload: Any) -> Any:
+    return _spec(job.kind)[2](payload)
+
+
+# -- built-in job kinds -------------------------------------------------------
+#
+# Imports stay inside the runners: harness.parallel is imported by the
+# analysis/cpu modules that emit jobs, so the back-edges must be lazy.
+
+
+def _guard_config_from(params: Optional[Mapping[str, Any]]):
+    from repro.common.config import PTGuardConfig
+
+    return None if params is None else PTGuardConfig(**params)
+
+
+def guard_config_params(config) -> Optional[Dict[str, Any]]:
+    """Canonical JSON-able form of a PTGuardConfig (or None baseline)."""
+    return None if config is None else asdict(config)
+
+
+def _run_workload_job(params: Mapping[str, Any]):
+    from repro.analysis.perf_eval import run_workload
+    from repro.cpu.workloads import get_workload
+
+    return run_workload(
+        get_workload(params["workload"]),
+        _guard_config_from(params["config"]),
+        mem_ops=params["mem_ops"],
+        warmup_ops=params["warmup_ops"],
+        seed=params["seed"],
+        prefault=params.get("prefault", False),
+        mac_algorithm=params.get("mac_algorithm", "pseudo"),
+    )
+
+
+def _encode_core_result(result) -> Dict[str, Any]:
+    return asdict(result)
+
+
+def _decode_core_result(payload):
+    from repro.cpu.core import CoreResult
+
+    return CoreResult(**payload)
+
+
+def _run_figure9_cell(params: Mapping[str, Any]):
+    from repro.analysis.correction_eval import evaluate_workload
+
+    return evaluate_workload(
+        params["workload"],
+        params["p_flip"],
+        max_lines=params["max_lines"],
+        trials_per_line=params["trials_per_line"],
+        seed=params["seed"],
+        guard_config=_guard_config_from(params.get("config")),
+    )
+
+
+def _encode_correction_stats(stats) -> Dict[str, Any]:
+    return asdict(stats)
+
+
+def _decode_correction_stats(payload):
+    from repro.analysis.correction_eval import CorrectionStats
+
+    return CorrectionStats(**payload)
+
+
+def _run_multicore_slowdown(params: Mapping[str, Any]) -> float:
+    from repro.cpu.multicore import multicore_slowdown
+
+    return multicore_slowdown(
+        list(params["mix"]),
+        mem_ops_per_core=params["mem_ops_per_core"],
+        mac_latency=params["mac_latency"],
+        seed=params["seed"],
+    )
+
+
+register_job_kind(
+    "workload_run", _run_workload_job, _encode_core_result, _decode_core_result
+)
+register_job_kind(
+    "figure9_cell",
+    _run_figure9_cell,
+    _encode_correction_stats,
+    _decode_correction_stats,
+)
+register_job_kind("multicore_slowdown", _run_multicore_slowdown)
+
+
+# -- result cache -------------------------------------------------------------
+
+
+def default_cache_dir() -> pathlib.Path:
+    """``REPRO_CACHE_DIR`` or ``~/.cache/ptguard-repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return pathlib.Path(env)
+    return pathlib.Path.home() / ".cache" / "ptguard-repro"
+
+
+class ResultCache:
+    """Content-addressed on-disk store of encoded job results.
+
+    Layout: ``<root>/<key[:2]>/<key>.json`` holding the job's canonical
+    identity next to its payload (self-describing for debugging).
+    Writes are atomic (tmp + rename), so concurrent workers and
+    concurrent *runs* can share a cache directory safely — last writer
+    wins with identical bytes.
+    """
+
+    def __init__(self, root: Optional[pathlib.Path] = None):
+        self.root = pathlib.Path(root) if root is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> pathlib.Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, job: SimJob) -> Optional[Any]:
+        """The encoded payload for ``job``, or None on a miss."""
+        path = self._path(job.key())
+        try:
+            entry = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry["result"]
+
+    def put(self, job: SimJob, payload: Any) -> None:
+        key = job.key()
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        body = json.dumps(
+            {"kind": job.kind, "params": job.params, "result": payload},
+            sort_keys=True,
+        )
+        tmp = path.with_name(f".{key}.{os.getpid()}.tmp")
+        tmp.write_text(body + "\n", encoding="utf-8")
+        os.replace(tmp, path)
+
+
+# -- execution ----------------------------------------------------------------
+
+
+def default_workers() -> int:
+    """``REPRO_WORKERS`` or the machine's CPU count."""
+    env = os.environ.get("REPRO_WORKERS")
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return os.cpu_count() or 1
+
+
+def _run_shard(shard: Sequence[Tuple[int, SimJob]]) -> List[Tuple[int, bool, Any]]:
+    """Pool worker: run one shard serially, never raise across the pipe."""
+    out: List[Tuple[int, bool, Any]] = []
+    for index, job in shard:
+        try:
+            out.append((index, True, execute_job(job)))
+        except Exception:
+            out.append((index, False, (job.kind, dict(job.params), traceback.format_exc())))
+    return out
+
+
+def _raise_job_error(info: Tuple[str, Dict[str, Any], str]) -> None:
+    kind, params, trace = info
+    raise SimJobError(
+        f"job kind={kind!r} params={params!r} raised in worker:\n{trace}"
+    )
+
+
+def _pool_context():
+    # fork keeps test-registered job kinds and the configured sys.path
+    # visible in workers; fall back to the platform default elsewhere.
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+def run_jobs(
+    jobs: Sequence[SimJob],
+    workers: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+) -> List[Any]:
+    """Execute ``jobs`` and return decoded results in job order.
+
+    ``workers=None`` resolves through :func:`default_workers`;
+    ``workers=1`` (or a single missing job) runs in-process. With a
+    ``cache``, hits skip execution entirely and fresh results are stored
+    back; the returned objects are identical either way because both
+    paths round-trip through the job kind's encode/decode pair.
+    """
+    resolved = default_workers() if workers is None else max(1, workers)
+    payloads: List[Optional[Any]] = [None] * len(jobs)
+    done = [False] * len(jobs)
+
+    if cache is not None:
+        for index, job in enumerate(jobs):
+            hit = cache.get(job)
+            if hit is not None:
+                payloads[index] = hit
+                done[index] = True
+
+    missing = [(index, job) for index, job in enumerate(jobs) if not done[index]]
+    if missing:
+        if resolved <= 1 or len(missing) == 1:
+            for index, job in missing:
+                try:
+                    payloads[index] = execute_job(job)
+                except SimJobError:
+                    raise
+                except Exception:
+                    _raise_job_error((job.kind, dict(job.params), traceback.format_exc()))
+        else:
+            pool_size = min(resolved, len(missing))
+            shards = [missing[offset::pool_size] for offset in range(pool_size)]
+            context = _pool_context()
+            with context.Pool(processes=pool_size) as pool:
+                for batch in pool.map(_run_shard, shards):
+                    for index, ok, payload in batch:
+                        if not ok:
+                            _raise_job_error(payload)
+                        payloads[index] = payload
+        if cache is not None:
+            for index, job in missing:
+                cache.put(job, payloads[index])
+
+    return [decode_result(job, payloads[index]) for index, job in enumerate(jobs)]

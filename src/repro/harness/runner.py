@@ -1,18 +1,26 @@
 """Command-line entry point: ``ptguard-repro <experiment> [--scale S]``.
 
 Runs any experiment from the DESIGN.md index and prints the same
-rows/series the paper's tables and figures report.
+rows/series the paper's tables and figures report. Sweep experiments
+(fig6/fig7/fig9/multicore) fan their independent cells out over a
+process pool (``--workers`` / ``REPRO_WORKERS``) and memoize finished
+cells in a content-addressed on-disk cache (``--cache-dir`` /
+``REPRO_CACHE_DIR``; ``--no-cache`` disables), so repeated runs skip
+already-simulated cells; see :mod:`repro.harness.parallel`.
 """
 
 from __future__ import annotations
 
 import argparse
 import inspect
+import json
+import pathlib
 import sys
 import time
 from typing import List, Optional
 
 from repro.harness.experiments import EXPERIMENTS
+from repro.harness.parallel import ResultCache
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -31,19 +39,57 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=1.0,
         help="work multiplier: 1.0 = quick (default); larger = closer to paper scale",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process-pool size for sweep experiments "
+        "(default: REPRO_WORKERS or the CPU count; 1 = fully in-process)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="always re-simulate; do not read or write the result cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=pathlib.Path,
+        default=None,
+        help="result-cache directory (default: REPRO_CACHE_DIR or "
+        "~/.cache/ptguard-repro)",
+    )
+    parser.add_argument(
+        "--json-summary",
+        type=pathlib.Path,
+        default=None,
+        help="write {experiment: seconds} timing JSON to this path",
+    )
     args = parser.parse_args(argv)
 
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    timings = {}
     for name in names:
         function = EXPERIMENTS[name]
+        parameters = inspect.signature(function).parameters
+        kwargs = {}
+        if "scale" in parameters:
+            kwargs["scale"] = args.scale
+        if "workers" in parameters:
+            kwargs["workers"] = args.workers
+        if "cache" in parameters:
+            kwargs["cache"] = cache
         start = time.time()
-        if "scale" in inspect.signature(function).parameters:
-            report = function(scale=args.scale)
-        else:
-            report = function()
+        report = function(**kwargs)
+        timings[name] = time.time() - start
         print(report)
-        print(f"[{name}: {time.time() - start:.1f}s]")
+        print(f"[{name}: {timings[name]:.1f}s]")
         print()
+    if args.json_summary is not None:
+        args.json_summary.parent.mkdir(parents=True, exist_ok=True)
+        args.json_summary.write_text(
+            json.dumps(timings, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
     return 0
 
 

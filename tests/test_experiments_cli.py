@@ -1,5 +1,7 @@
 """Tests for the experiment harness and CLI runner."""
 
+import json
+
 import pytest
 
 from repro.harness.experiments import (
@@ -7,6 +9,7 @@ from repro.harness.experiments import (
     experiment_security_analysis,
     experiment_storage,
     experiment_tables_1_2,
+    scaled_process_count,
 )
 from repro.harness.runner import main
 
@@ -39,6 +42,24 @@ class TestCheapExperiments:
         assert "52" in report and "71" in report
 
 
+class TestScaledProcessCount:
+    """The Figure-8 population-size helper (floor, identity, scaling, cap)."""
+
+    def test_small_scales_hit_the_floor(self):
+        assert scaled_process_count(0.001) == 20
+        assert scaled_process_count(0.5) == 311
+
+    def test_unit_scale_is_the_paper_population(self):
+        assert scaled_process_count(1.0) == 623
+
+    def test_large_scales_grow_linearly(self):
+        assert scaled_process_count(2.0) == 1246
+
+    def test_clamped_at_1400(self):
+        assert scaled_process_count(3.0) == 1400
+        assert scaled_process_count(100.0) == 1400
+
+
 class TestCLI:
     def test_runner_executes_experiment(self, capsys):
         assert main(["storage"]) == 0
@@ -51,3 +72,18 @@ class TestCLI:
 
     def test_scale_flag_parsed(self, capsys):
         assert main(["security", "--scale", "2.0"]) == 0
+
+    def test_json_summary_written(self, capsys, tmp_path):
+        path = tmp_path / "timings.json"
+        assert main(["storage", "--json-summary", str(path), "--no-cache"]) == 0
+        timings = json.loads(path.read_text(encoding="utf-8"))
+        assert set(timings) == {"storage"}
+        assert timings["storage"] >= 0.0
+
+    def test_workers_and_cache_flags_parsed(self, capsys, tmp_path):
+        # storage ignores workers/cache; the flags must still parse, and
+        # --cache-dir must not create anything for a cache-free experiment.
+        assert main(
+            ["storage", "--workers", "2", "--cache-dir", str(tmp_path / "c")]
+        ) == 0
+        assert not (tmp_path / "c").exists()
