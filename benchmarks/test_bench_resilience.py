@@ -1,0 +1,154 @@
+"""Resilience overhead: the same sweep fault-free vs under seeded chaos.
+
+Like the other ``test_bench_*`` files this measures the *simulator*: a
+fig6 sweep runs once clean and once with deterministic chaos (worker
+kills, over-deadline delays, cache corruption) plus a warm replay that
+must quarantine the corrupted entries. The contract asserted is the
+issue's acceptance bar — every mode returns identical rows — and the
+benchmark quantifies what the fault tolerance costs when faults do and
+do not happen.
+
+Writes machine-readable ``BENCH_resilience.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import shutil
+import tempfile
+import time
+
+from conftest import scale
+
+from repro.analysis.perf_eval import figure6_jobs, run_figure6
+from repro.harness.chaos import ChaosPolicy
+from repro.harness.parallel import (
+    ExecutionPolicy,
+    ResultCache,
+    execution_policy,
+    last_run_stats,
+)
+
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+WORKLOADS = ["povray", "xz", "mcf", "lbm"]
+
+
+def _pick_chaos(mem_ops: int, warmup: int) -> ChaosPolicy:
+    """First seed whose decisions hit every channel on this job grid.
+
+    Job keys include ``mem_ops``, so the fault pattern shifts with
+    REPRO_SCALE; scanning seeds keeps the ≥1-kill/≥1-corrupt assertions
+    deterministic at every scale (and the scan itself is pure hashing).
+    """
+    keys = [job.key() for job in figure6_jobs(WORKLOADS, mem_ops, warmup)]
+    for seed in range(1, 1000):
+        policy = ChaosPolicy(seed=seed, kill=0.2, delay=0.1, corrupt=0.2)
+        if (
+            any(policy.decide(k, "kill") for k in keys)
+            and any(policy.decide(k, "corrupt") for k in keys)
+        ):
+            return policy
+    raise AssertionError("no chaos seed below 1000 covers kill+corrupt")
+
+
+def _sweep(mem_ops: int, warmup: int, cache, policy=None):
+    start = time.perf_counter()
+    if policy is None:
+        rows = run_figure6(
+            WORKLOADS, mem_ops=mem_ops, warmup_ops=warmup, workers=2, cache=cache
+        )
+    else:
+        with execution_policy(policy):
+            rows = run_figure6(
+                WORKLOADS, mem_ops=mem_ops, warmup_ops=warmup, workers=2, cache=cache
+            )
+    return time.perf_counter() - start, rows, last_run_stats()
+
+
+def test_bench_resilience(once, emit):
+    mem_ops = int(20_000 * scale())
+    warmup = int(12_000 * scale())
+    timeout_s = max(10.0, scale() * 10.0)
+    chaos = _pick_chaos(mem_ops, warmup)
+    cache_root = pathlib.Path(tempfile.mkdtemp(prefix="ptguard-bench-chaos-"))
+
+    def experiment():
+        clean_sec, clean_rows, _ = _sweep(mem_ops, warmup, cache=None)
+        chaos_policy = ExecutionPolicy(
+            timeout_s=timeout_s, retries=3, backoff_base_s=0.0, chaos=chaos
+        )
+        chaos_sec, chaos_rows, chaos_stats = _sweep(
+            mem_ops, warmup, cache=ResultCache(cache_root), policy=chaos_policy
+        )
+        warm_cache = ResultCache(cache_root)
+        warm_sec, warm_rows, warm_stats = _sweep(mem_ops, warmup, cache=warm_cache)
+        return {
+            "clean_sec": clean_sec,
+            "chaos_sec": chaos_sec,
+            "warm_sec": warm_sec,
+            "rows_identical": clean_rows == chaos_rows == warm_rows,
+            "crashes": chaos_stats.crashes,
+            "timeouts": chaos_stats.timeouts,
+            "retries": chaos_stats.retries,
+            "quarantined": warm_stats.quarantined,
+            "warm_cached": warm_stats.cached,
+            "warm_fresh": warm_stats.fresh,
+        }
+
+    try:
+        result = once(experiment)
+    finally:
+        shutil.rmtree(cache_root, ignore_errors=True)
+
+    overhead = result["chaos_sec"] / result["clean_sec"]
+    emit(
+        "\n".join(
+            [
+                f"Resilience — fig6 sweep over {len(WORKLOADS)} workloads, "
+                f"{mem_ops} mem ops/cell (REPRO_SCALE={scale():g})",
+                "",
+                f"{'mode':<26} {'seconds':>8}",
+                f"{'clean (no faults)':<26} {result['clean_sec']:>8.1f}",
+                f"{'chaos (kill/delay/corrupt)':<26} {result['chaos_sec']:>8.1f}"
+                f"   ({overhead:.2f}x clean)",
+                f"{'warm replay + quarantine':<26} {result['warm_sec']:>8.2f}",
+                "",
+                f"injected: {result['crashes']} worker kills, "
+                f"{result['timeouts']} deadline kills, "
+                f"{result['quarantined']} corrupted cache entries "
+                f"(all recovered; {result['retries']} retries)",
+                f"rows identical across clean/chaos/warm: "
+                f"{result['rows_identical']}",
+            ]
+        )
+    )
+
+    payload = {
+        "repro_scale": scale(),
+        "mem_ops": mem_ops,
+        "workloads": WORKLOADS,
+        "chaos": {"seed": chaos.seed, "kill": chaos.kill, "delay": chaos.delay,
+                  "corrupt": chaos.corrupt},
+        "clean_sec": result["clean_sec"],
+        "chaos_sec": result["chaos_sec"],
+        "warm_sec": result["warm_sec"],
+        "chaos_overhead_vs_clean": overhead,
+        "worker_kills": result["crashes"],
+        "deadline_kills": result["timeouts"],
+        "retries": result["retries"],
+        "quarantined_entries": result["quarantined"],
+        "rows_identical": result["rows_identical"],
+    }
+    (REPO_ROOT / "BENCH_resilience.json").write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+
+    # Host-independent properties (always asserted).
+    assert result["rows_identical"], "fault injection changed a simulated result"
+    assert result["crashes"] >= 1, "chaos injected no worker kill"
+    assert result["quarantined"] >= 1, "chaos corrupted no cache entry"
+    assert result["warm_cached"] + result["warm_fresh"] == 12
+    assert result["warm_fresh"] == result["quarantined"], (
+        "warm replay recomputed more than the quarantined cells"
+    )

@@ -196,7 +196,8 @@ def figure9_cell_job(
 
     The seed sits in the params (hence in the content-addressed key), so
     the cell's fault-injection RNG stream is fixed by the job identity,
-    not by which worker or run order executes it.
+    not by which worker or run order executes it. The label (display
+    only, outside the key) names the cell for journals and failures.
     """
     from repro.harness.parallel import SimJob
 
@@ -209,6 +210,7 @@ def figure9_cell_job(
             "trials_per_line": trials_per_line,
             "seed": seed,
         },
+        label=f"fig9/{workload}/p_flip=1-{round(1 / p_flip)}",
     )
 
 

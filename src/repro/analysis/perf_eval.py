@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.common.config import PTGuardConfig, optimized_ptguard_config
 from repro.cpu.core import CoreResult
@@ -112,12 +112,15 @@ def workload_job(
     mem_ops: int,
     warmup_ops: int,
     seed: int,
+    label: Optional[str] = None,
 ) -> SimJob:
     """The :class:`SimJob` equivalent of one :func:`run_workload` call.
 
     The seed lands in the job params — part of the cache key, fixed by
     the emitter — so serial, parallel and cached runs of the same cell
-    are bit-identical by construction.
+    are bit-identical by construction. ``label`` names the cell in logs,
+    journals and failure messages; it never enters the key, so fig 6 and
+    fig 7 still share identical cells through the cache.
     """
     return SimJob(
         kind="workload_run",
@@ -129,7 +132,47 @@ def workload_job(
             "seed": seed,
             "mac_algorithm": "pseudo",
         },
+        label=label,
     )
+
+
+def figure6_jobs(
+    workload_names: Optional[Sequence[str]] = None,
+    mem_ops: int = 20_000,
+    warmup_ops: int = 12_000,
+    mac_latency: int = 10,
+    include_optimized: bool = True,
+    seed: int = 1,
+) -> List[SimJob]:
+    """The Figure-6 job grid, workload-major then configuration.
+
+    Exposed separately from :func:`run_figure6` so callers that reason
+    about the cells themselves — the chaos benchmark picks an injection
+    seed from the job keys — build exactly the grid the sweep runs.
+    """
+    profiles = (
+        [get_workload(name) for name in workload_names]
+        if workload_names is not None
+        else list(WORKLOADS)
+    )
+    configs: List[Tuple[str, Optional[PTGuardConfig]]] = [
+        ("baseline", None),
+        ("ptguard", PTGuardConfig(mac_latency_cycles=mac_latency)),
+    ]
+    if include_optimized:
+        configs.append(("optimized", optimized_ptguard_config(mac_latency)))
+    return [
+        workload_job(
+            profile.name,
+            config,
+            mem_ops,
+            warmup_ops,
+            seed,
+            label=f"fig6/{profile.name}/{design}",
+        )
+        for profile in profiles
+        for design, config in configs
+    ]
 
 
 def run_figure6(
@@ -154,20 +197,12 @@ def run_figure6(
         if workload_names is not None
         else list(WORKLOADS)
     )
-    configs: List[Optional[PTGuardConfig]] = [
-        None,
-        PTGuardConfig(mac_latency_cycles=mac_latency),
-    ]
-    if include_optimized:
-        configs.append(optimized_ptguard_config(mac_latency))
-    jobs = [
-        workload_job(profile.name, config, mem_ops, warmup_ops, seed)
-        for profile in profiles
-        for config in configs
-    ]
+    jobs = figure6_jobs(
+        workload_names, mem_ops, warmup_ops, mac_latency, include_optimized, seed
+    )
     results = run_jobs(jobs, workers=workers, cache=cache)
     rows: List[Figure6Row] = []
-    stride = len(configs)
+    stride = 3 if include_optimized else 2
     for position, profile in enumerate(profiles):
         base, guarded = results[position * stride], results[position * stride + 1]
         optimized = results[position * stride + 2] if include_optimized else None
@@ -218,7 +253,14 @@ def run_figure7(
     )
     designs = ("ptguard", "optimized")
     jobs = [
-        workload_job(profile.name, None, mem_ops, warmup_ops, seed)
+        workload_job(
+            profile.name,
+            None,
+            mem_ops,
+            warmup_ops,
+            seed,
+            label=f"fig7/{profile.name}/baseline",
+        )
         for profile in profiles
     ]
     for design in designs:
@@ -230,7 +272,14 @@ def run_figure7(
                     else optimized_ptguard_config(latency)
                 )
                 jobs.append(
-                    workload_job(profile.name, config, mem_ops, warmup_ops, seed)
+                    workload_job(
+                        profile.name,
+                        config,
+                        mem_ops,
+                        warmup_ops,
+                        seed,
+                        label=f"fig7/{profile.name}/{design}@{latency}cy",
+                    )
                 )
     results = run_jobs(jobs, workers=workers, cache=cache)
     baselines: Dict[str, CoreResult] = {

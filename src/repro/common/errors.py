@@ -57,3 +57,61 @@ class CollisionBufferOverflow(PTGuardError):
 
 class SimulationError(PTGuardError):
     """The simulator reached an internally inconsistent state."""
+
+
+# -- experiment-fabric failures (repro.harness.parallel) ----------------------
+#
+# The fabric distinguishes *transient* failures — a worker process died
+# or a job overran its wall-clock deadline, conditions that a retry on a
+# fresh worker can cure — from *permanent* ones, where the job's own
+# code raised and re-running it deterministically reproduces the error.
+# Retry logic branches on the class attribute, never on string matching.
+
+
+class SimJobError(PTGuardError, RuntimeError):
+    """A simulation job failed; carries the job identity and (for worker
+    failures) the remote traceback so parallel failures read like serial
+    ones.
+
+    ``transient`` is a class attribute: True means a retry on a fresh
+    worker may succeed (crash/timeout), False means the failure is a
+    deterministic property of the job itself.
+    """
+
+    transient = False
+
+
+class JobExecutionError(SimJobError):
+    """The job's own code raised — permanent; retrying reproduces it."""
+
+    transient = False
+
+
+class UnknownJobKindError(SimJobError):
+    """The job ``kind`` is not in the registry — permanent."""
+
+    transient = False
+
+
+class JobTimeoutError(SimJobError):
+    """A job overran its wall-clock deadline and its worker was killed —
+    transient (the next attempt may land on an unloaded worker)."""
+
+    transient = True
+
+
+class WorkerCrashError(SimJobError):
+    """A pool worker died (signal/OOM/``os._exit``) while running a job —
+    transient; the job is retried on a respawned worker."""
+
+    transient = True
+
+
+class RetryBudgetExceededError(SimJobError):
+    """A job kept failing transiently until its retry budget ran out.
+
+    Permanent by exhaustion: the fabric gives up on the whole run; the
+    last underlying failure is chained as ``__cause__``.
+    """
+
+    transient = False

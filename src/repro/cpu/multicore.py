@@ -251,10 +251,12 @@ def slowdown_job(
     mem_ops_per_core: int = 6000,
     mac_latency: int = 10,
     seed: int = 3,
+    label: Optional[str] = None,
 ):
     """The :class:`~repro.harness.parallel.SimJob` form of one
     :func:`multicore_slowdown` datapoint (baseline + guarded pair run
-    inside the job; the returned result is the slowdown percentage)."""
+    inside the job; the returned result is the slowdown percentage).
+    ``label`` is display-only (logs/journal) and never enters the key."""
     from repro.harness.parallel import SimJob  # keep the back-edge lazy
 
     return SimJob(
@@ -265,6 +267,7 @@ def slowdown_job(
             "mac_latency": mac_latency,
             "seed": seed,
         },
+        label=label or f"sec7c/{'+'.join(workload_names)}",
     )
 
 

@@ -1,0 +1,113 @@
+"""Deterministic chaos injection for the parallel experiment fabric.
+
+The resilience layer in :mod:`repro.harness.parallel` claims that worker
+kills, hung jobs and on-disk cache corruption cost recomputation, never
+correctness. This module is how tests (and the CI chaos smoke job)
+*prove* that end-to-end: a :class:`ChaosPolicy` injects exactly those
+faults, and the sweep's report must still come out byte-identical to a
+fault-free run.
+
+Every injection decision is a pure function of ``(seed, channel, job
+key)``: a SHA-256 over those strings maps to a fraction in [0, 1) that
+is compared against the channel's probability. No RNG state, no
+ordering dependence — the same sweep with the same seed injects the
+same faults regardless of worker count, scheduling or retries, which is
+what lets tests assert exact, reproducible failure counts.
+
+Channels:
+
+* ``kill`` — the worker calls ``os._exit(137)`` before running the job
+  (first attempt only), simulating a SIGKILL/OOM-killed worker.
+* ``delay`` — the worker sleeps past the job's wall-clock deadline
+  (first attempt only), forcing the supervisor's hung-worker kill and
+  the timeout/retry path. Skipped when no deadline is set.
+* ``corrupt`` — after the fresh result is written through to the cache,
+  the entry file is garbled in place, forcing the read-side digest
+  check to quarantine and recompute on the next lookup.
+
+``abort_after`` (a count, not a channel) makes the supervisor raise
+``KeyboardInterrupt`` after N completed cells — a deterministic stand-in
+for an operator interrupt, used to test ``--resume``.
+
+Activation: pass a policy programmatically, or use ``--chaos`` /
+``REPRO_CHAOS`` with a spec like ``seed=3,kill=0.2,delay=0.1,corrupt=0.1``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Optional
+
+_PROBABILITY_CHANNELS = ("kill", "delay", "corrupt")
+
+
+@dataclass(frozen=True)
+class ChaosPolicy:
+    """Seed-driven fault-injection probabilities per channel."""
+
+    seed: int = 0
+    kill: float = 0.0
+    delay: float = 0.0
+    corrupt: float = 0.0
+    abort_after: Optional[int] = None
+
+    def decide(self, key: str, channel: str) -> bool:
+        """Deterministic verdict for one (job key, channel) pair."""
+        probability = getattr(self, channel)
+        if probability <= 0.0:
+            return False
+        digest = hashlib.sha256(
+            f"{self.seed}:{channel}:{key}".encode("utf-8")
+        ).digest()
+        fraction = int.from_bytes(digest[:8], "big") / 2**64
+        return fraction < probability
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "ChaosPolicy":
+        """Parse ``seed=3,kill=0.2,delay=0.1,corrupt=0.1,abort_after=5``.
+
+        Raises ``ValueError`` on unknown fields, malformed values or
+        probabilities outside [0, 1].
+        """
+        values: dict = {}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            name, separator, raw = part.partition("=")
+            name, raw = name.strip(), raw.strip()
+            if not separator or not raw:
+                raise ValueError(f"bad chaos field {part!r} (want name=value)")
+            if name == "seed":
+                values["seed"] = int(raw)
+            elif name == "abort_after":
+                count = int(raw)
+                if count < 1:
+                    raise ValueError("abort_after must be >= 1")
+                values["abort_after"] = count
+            elif name in _PROBABILITY_CHANNELS:
+                probability = float(raw)
+                if not 0.0 <= probability <= 1.0:
+                    raise ValueError(
+                        f"{name} probability {probability} outside [0, 1]"
+                    )
+                values[name] = probability
+            else:
+                raise ValueError(f"unknown chaos field {name!r}")
+        return cls(**values)
+
+
+def corrupt_cache_entry(cache, job) -> None:
+    """Garble ``job``'s on-disk cache entry in place.
+
+    The file stays present and non-empty (a deleted entry would be a
+    plain miss — too easy), so the read path must *detect* the damage
+    via its digest check, quarantine the entry and recompute.
+    """
+    path = cache._path(job.key())
+    try:
+        data = path.read_bytes()
+    except OSError:
+        return
+    path.write_bytes(b'{"chaos": "corrupt", ' + data[: max(1, len(data) // 2)])

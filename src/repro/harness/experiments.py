@@ -338,7 +338,14 @@ def experiment_multicore(
     mem_ops = int(4000 * scale)
     out = [banner("Section VII-C: 4-core slowdown")]
     labelled = [
-        (f"SAME-{name}", slowdown_job(make_same_mix(name), mem_ops_per_core=mem_ops))
+        (
+            f"SAME-{name}",
+            slowdown_job(
+                make_same_mix(name),
+                mem_ops_per_core=mem_ops,
+                label=f"sec7c/SAME-{name}",
+            ),
+        )
         for name in ("lbm", "xalancbmk", "xz", "namd")
     ]
     for seed in (1, 2):
@@ -346,7 +353,12 @@ def experiment_multicore(
         labelled.append(
             (
                 f"MIX-{seed} ({','.join(mix)})",
-                slowdown_job(mix, mem_ops_per_core=mem_ops, seed=seed),
+                slowdown_job(
+                    mix,
+                    mem_ops_per_core=mem_ops,
+                    seed=seed,
+                    label=f"sec7c/MIX-{seed}",
+                ),
             )
         )
     slowdowns = run_jobs(

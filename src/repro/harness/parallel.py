@@ -1,4 +1,4 @@
-"""Parallel experiment fabric: job fan-out + content-addressed result cache.
+"""Parallel experiment fabric: job fan-out, result cache, resilience.
 
 The paper's evaluation is a grid of *independent* simulations (Fig 6 is
 25 workloads x 3 configurations, Fig 7 is workloads x MAC latencies x 2
@@ -7,48 +7,90 @@ designs, Fig 9 is workloads x p_flip). Each cell builds its own
 and a seed, so cells can run in any order, in any process, and be
 replayed from a cache — the results are a pure function of the job.
 
-Three pieces:
+Pieces:
 
 * :class:`SimJob` — a picklable description of one simulation cell:
   a ``kind`` (dispatch key into the job registry) plus a flat, JSON-able
-  ``params`` mapping. Its :meth:`SimJob.key` is a stable SHA-256 over
-  the canonical JSON of (schema version, kind, params); the seed is part
-  of ``params``, chosen by the *emitter*, never by execution order — the
-  determinism argument in one line.
+  ``params`` mapping, and an optional human-readable ``label`` used in
+  logs/journals (never in the cache key). Its :meth:`SimJob.key` is a
+  stable SHA-256 over the canonical JSON of (schema version, kind,
+  params); the seed is part of ``params``, chosen by the *emitter*,
+  never by execution order — the determinism argument in one line.
 * :func:`run_jobs` — executes a job list and returns results **in job
   order**. ``workers=1`` runs fully in-process (debuggable with pdb);
-  ``workers>1`` shards jobs round-robin by index over a
-  ``multiprocessing`` pool (deterministic assignment, deterministic
-  reassembly). A job that raises anywhere surfaces as
+  ``workers>1`` runs a supervised worker pool with per-job wall-clock
+  deadlines, hung-worker kill, retry with exponential backoff for
+  *transient* failures (crashes/timeouts — see the
+  :class:`~repro.common.errors.SimJobError` taxonomy), and graceful
+  degradation to in-process serial execution when the pool itself keeps
+  failing. A job that raises anywhere surfaces as a
   :class:`SimJobError` carrying the worker traceback — never a hang.
 * :class:`ResultCache` — an on-disk, content-addressed store of encoded
   results keyed by :meth:`SimJob.key`. Any change to the config, the
   workload, the op counts, the seed or :data:`CACHE_SCHEMA_VERSION`
   changes the key, so stale entries are unreachable rather than
-  invalidated.
+  invalidated. Every entry carries a SHA-256 digest of its payload that
+  is verified on read; corrupt/truncated entries are quarantined to
+  ``<root>/quarantine/`` and recomputed, never trusted and never fatal.
+* :class:`SweepJournal` — an append-only JSONL manifest, one file per
+  sweep under ``<cache root>/journals/``, recording each completed cell
+  as it lands. Completed cells also hit the cache *immediately*
+  (write-through), so a run interrupted by SIGINT/SIGKILL/OOM resumes
+  with ``--resume`` recomputing only the missing cells — and, because
+  every result round-trips the same encode/decode pair, emitting
+  byte-identical report strings.
 
-Every result — cached or fresh, serial or parallel — passes through the
-same encode/decode pair, so all execution modes hand back *identical*
-objects and downstream report strings are byte-identical.
+Deterministic fault injection for all of the above lives in
+:mod:`repro.harness.chaos`.
 """
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
+import logging
 import multiprocessing
 import os
 import pathlib
+import queue as queue_module
+import time
 import traceback
+from collections import deque
 from dataclasses import asdict, dataclass, field
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
-CACHE_SCHEMA_VERSION = 1
+from repro.common.errors import (
+    ConfigurationError,
+    JobExecutionError,
+    JobTimeoutError,
+    RetryBudgetExceededError,
+    SimJobError,
+    UnknownJobKindError,
+    WorkerCrashError,
+)
 
+logger = logging.getLogger(__name__)
 
-class SimJobError(RuntimeError):
-    """A simulation job raised; carries the job identity and the worker
-    traceback so parallel failures read like serial ones."""
+# Version 2: entries grew a payload digest (verified on read).
+CACHE_SCHEMA_VERSION = 2
+
+# Supervisor poll granularity: deadline checks and worker-death scans
+# happen at least this often while waiting for results.
+_POLL_INTERVAL_S = 0.05
+
+# Exit status a chaos-killed worker dies with (mirrors SIGKILL/OOM).
+CHAOS_KILL_EXIT = 137
 
 
 @dataclass(frozen=True)
@@ -58,10 +100,14 @@ class SimJob:
     ``params`` must be JSON-able primitives (str/int/float/bool/None,
     lists, flat dicts) — that is what makes the job picklable for the
     pool *and* hashable for the cache with one canonical form.
+    ``label`` is display-only (logs, journal, error messages): it is
+    excluded from equality and from the cache key, so fig 6 and fig 7
+    can label the same underlying cell differently and still share it.
     """
 
     kind: str
     params: Mapping[str, Any] = field(default_factory=dict)
+    label: Optional[str] = field(default=None, compare=False)
 
     def canonical(self) -> str:
         """Stable serialisation: the content that is addressed."""
@@ -77,6 +123,10 @@ class SimJob:
 
     def key(self) -> str:
         return hashlib.sha256(self.canonical().encode("utf-8")).hexdigest()
+
+    def describe(self) -> str:
+        """Short identity for logs: label (or kind) plus a key prefix."""
+        return f"{self.label or self.kind}[{self.key()[:8]}]"
 
 
 # -- job registry -------------------------------------------------------------
@@ -111,7 +161,7 @@ def _spec(kind: str) -> JobSpec:
     try:
         return _REGISTRY[kind]
     except KeyError:
-        raise SimJobError(f"unknown job kind {kind!r}") from None
+        raise UnknownJobKindError(f"unknown job kind {kind!r}") from None
 
 
 def execute_job(job: SimJob) -> Any:
@@ -223,46 +273,304 @@ def default_cache_dir() -> pathlib.Path:
     return pathlib.Path.home() / ".cache" / "ptguard-repro"
 
 
+def payload_digest(payload: Any) -> str:
+    """SHA-256 over the canonical JSON of an encoded result payload."""
+    body = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(body.encode("utf-8")).hexdigest()
+
+
 class ResultCache:
     """Content-addressed on-disk store of encoded job results.
 
     Layout: ``<root>/<key[:2]>/<key>.json`` holding the job's canonical
-    identity next to its payload (self-describing for debugging).
-    Writes are atomic (tmp + rename), so concurrent workers and
-    concurrent *runs* can share a cache directory safely — last writer
-    wins with identical bytes.
+    identity next to its payload and a SHA-256 ``digest`` of the payload
+    (self-describing for debugging, self-verifying on read). Writes are
+    atomic (tmp + rename), so concurrent workers and concurrent *runs*
+    can share a cache directory safely — last writer wins with identical
+    bytes.
+
+    Read-side integrity: :meth:`get` re-derives the payload digest and
+    treats any unparsable or digest-mismatching entry as *corrupt* —
+    the file is moved to ``<root>/quarantine/`` (kept for post-mortem),
+    ``corrupt`` is incremented and the lookup degrades to a miss, so a
+    flipped bit on disk costs one recompute, never a crash and never a
+    silently wrong report. Genuine I/O failures other than a missing
+    file (e.g. ``EACCES``) are counted in ``io_errors`` and warned about
+    once per cache instance instead of silently masquerading as misses.
     """
 
     def __init__(self, root: Optional[pathlib.Path] = None):
         self.root = pathlib.Path(root) if root is not None else default_cache_dir()
         self.hits = 0
         self.misses = 0
+        self.corrupt = 0
+        self.io_errors = 0
+        self._io_warned = False
+
+    @property
+    def quarantine_dir(self) -> pathlib.Path:
+        return self.root / "quarantine"
 
     def _path(self, key: str) -> pathlib.Path:
         return self.root / key[:2] / f"{key}.json"
 
+    def _quarantine(self, path: pathlib.Path, job: SimJob, why: str) -> None:
+        self.corrupt += 1
+        target = self.quarantine_dir / path.name
+        try:
+            self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target)
+        except OSError:
+            with contextlib.suppress(OSError):
+                path.unlink()
+        logger.warning(
+            "quarantined corrupt cache entry for %s (%s) -> %s; recomputing",
+            job.describe(),
+            why,
+            target,
+        )
+
     def get(self, job: SimJob) -> Optional[Any]:
-        """The encoded payload for ``job``, or None on a miss."""
+        """The encoded payload for ``job``, or None on a miss.
+
+        Corrupt entries (bad JSON, missing fields, digest mismatch) are
+        quarantined and reported as misses; I/O errors other than
+        "file not found" are counted and warned about, then reported as
+        misses so a sweep degrades to recomputation instead of dying.
+        """
         path = self._path(job.key())
         try:
-            entry = json.loads(path.read_text(encoding="utf-8"))
-        except (OSError, ValueError):
+            text = path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except OSError as exc:
+            self.io_errors += 1
+            if not self._io_warned:
+                self._io_warned = True
+                logger.warning(
+                    "cache read failed (%s: %s) -- treating as a miss; "
+                    "further I/O errors are counted in io_errors without "
+                    "repeating this warning",
+                    type(exc).__name__,
+                    exc,
+                )
+            self.misses += 1
+            return None
+        try:
+            entry = json.loads(text)
+            payload = entry["result"]
+            digest = entry["digest"]
+        except (ValueError, KeyError, TypeError):
+            self._quarantine(path, job, "unparsable entry")
+            self.misses += 1
+            return None
+        if payload_digest(payload) != digest:
+            self._quarantine(path, job, "payload digest mismatch")
             self.misses += 1
             return None
         self.hits += 1
-        return entry["result"]
+        return payload
 
     def put(self, job: SimJob, payload: Any) -> None:
         key = job.key()
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         body = json.dumps(
-            {"kind": job.kind, "params": job.params, "result": payload},
+            {
+                "kind": job.kind,
+                "params": job.params,
+                "result": payload,
+                "digest": payload_digest(payload),
+            },
             sort_keys=True,
         )
         tmp = path.with_name(f".{key}.{os.getpid()}.tmp")
         tmp.write_text(body + "\n", encoding="utf-8")
         os.replace(tmp, path)
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "corrupt": self.corrupt,
+            "io_errors": self.io_errors,
+        }
+
+
+# -- sweep journal ------------------------------------------------------------
+
+
+def sweep_id(jobs: Sequence[SimJob]) -> str:
+    """Stable identity of a sweep: a hash over its ordered job keys."""
+    digest = hashlib.sha256()
+    for job in jobs:
+        digest.update(job.key().encode("ascii"))
+        digest.update(b"\n")
+    return digest.hexdigest()[:16]
+
+
+class SweepJournal:
+    """Append-only JSONL manifest of one sweep's progress.
+
+    One file per sweep (named by :func:`sweep_id`) next to the cache:
+    ``<cache root>/journals/<sweep id>.jsonl``. Records are flushed and
+    fsynced per append, so after SIGKILL/OOM the journal is at worst
+    missing its final line — and :meth:`load` tolerates exactly that by
+    discarding a truncated tail. The journal is bookkeeping, not a data
+    store: payloads live in the cache (written through as cells finish),
+    which is what makes ``--resume`` recompute only the missing cells.
+    """
+
+    def __init__(self, path: pathlib.Path):
+        self.path = pathlib.Path(path)
+
+    def append(self, record: Mapping[str, Any]) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    @staticmethod
+    def load(path: pathlib.Path) -> List[Dict[str, Any]]:
+        """All parseable records; a torn final line (crash mid-append)
+        and anything after it are dropped."""
+        records: List[Dict[str, Any]] = []
+        try:
+            with open(path, encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        records.append(json.loads(line))
+                    except ValueError:
+                        break
+        except OSError:
+            return []
+        return records
+
+
+# -- execution policy ---------------------------------------------------------
+
+
+@dataclass
+class ExecutionPolicy:
+    """Resilience knobs for :func:`run_jobs`.
+
+    ``timeout_s`` — per-job wall-clock deadline; a worker that exceeds
+    it is killed and the job retried (None disables enforcement).
+    ``retries`` — how many *additional* attempts a transiently-failing
+    job (crash/timeout) gets before the run gives up with
+    :class:`RetryBudgetExceededError`. Permanent failures (the job's own
+    code raised) are never retried. Retries back off exponentially:
+    ``backoff_base_s * 2**attempt`` capped at ``backoff_cap_s``.
+    ``max_worker_restarts`` — pool-level failure budget (default
+    ``3 * pool size``); beyond it the pool is abandoned and, when
+    ``fallback_serial`` is set, the remaining jobs run in-process with a
+    warning. ``chaos`` is a :class:`repro.harness.chaos.ChaosPolicy`
+    for deterministic fault injection; ``resume`` marks an explicitly
+    resumed run (journal bookkeeping only — cached cells are reused
+    either way).
+    """
+
+    timeout_s: Optional[float] = None
+    retries: int = 2
+    backoff_base_s: float = 0.05
+    backoff_cap_s: float = 2.0
+    fallback_serial: bool = True
+    max_worker_restarts: Optional[int] = None
+    chaos: Optional[Any] = None
+    resume: bool = False
+
+    @classmethod
+    def from_env(cls) -> "ExecutionPolicy":
+        """Defaults, overridden by REPRO_TIMEOUT / REPRO_RETRIES /
+        REPRO_CHAOS where set (unparsable values warn and are ignored)."""
+        policy = cls()
+        timeout = os.environ.get("REPRO_TIMEOUT")
+        if timeout:
+            try:
+                policy.timeout_s = max(0.001, float(timeout))
+            except ValueError:
+                logger.warning("ignoring unparsable REPRO_TIMEOUT=%r", timeout)
+        retries = os.environ.get("REPRO_RETRIES")
+        if retries:
+            try:
+                policy.retries = max(0, int(retries))
+            except ValueError:
+                logger.warning("ignoring unparsable REPRO_RETRIES=%r", retries)
+        spec = os.environ.get("REPRO_CHAOS")
+        if spec:
+            from repro.harness.chaos import ChaosPolicy
+
+            try:
+                policy.chaos = ChaosPolicy.from_spec(spec)
+            except ValueError as exc:
+                logger.warning("ignoring unparsable REPRO_CHAOS=%r (%s)", spec, exc)
+        return policy
+
+
+_POLICY: Optional[ExecutionPolicy] = None
+
+
+def get_execution_policy() -> ExecutionPolicy:
+    global _POLICY
+    if _POLICY is None:
+        _POLICY = ExecutionPolicy.from_env()
+    return _POLICY
+
+
+def set_execution_policy(policy: Optional[ExecutionPolicy]) -> None:
+    """Install the process-wide default policy (None re-reads the env)."""
+    global _POLICY
+    _POLICY = policy
+
+
+@contextlib.contextmanager
+def execution_policy(policy: ExecutionPolicy) -> Iterator[ExecutionPolicy]:
+    """Temporarily install ``policy`` as the process-wide default."""
+    previous = get_execution_policy()
+    set_execution_policy(policy)
+    try:
+        yield policy
+    finally:
+        set_execution_policy(previous)
+
+
+@dataclass
+class FabricStats:
+    """Observability for the last :func:`run_jobs` call (per process)."""
+
+    jobs: int = 0
+    cached: int = 0
+    fresh: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    crashes: int = 0
+    quarantined: int = 0
+    resumed_cells: int = 0
+    degraded: bool = False
+
+    def eventful(self) -> bool:
+        """True when anything beyond plain execution happened."""
+        return bool(
+            self.retries
+            or self.timeouts
+            or self.crashes
+            or self.quarantined
+            or self.degraded
+            or self.resumed_cells
+        )
+
+
+_LAST_STATS = FabricStats()
+
+
+def last_run_stats() -> FabricStats:
+    """Stats of the most recent run_jobs call in this process."""
+    return _LAST_STATS
 
 
 # -- execution ----------------------------------------------------------------
@@ -279,77 +587,445 @@ def default_workers() -> int:
     return os.cpu_count() or 1
 
 
-def _run_shard(shard: Sequence[Tuple[int, SimJob]]) -> List[Tuple[int, bool, Any]]:
-    """Pool worker: run one shard serially, never raise across the pipe."""
-    out: List[Tuple[int, bool, Any]] = []
-    for index, job in shard:
-        try:
-            out.append((index, True, execute_job(job)))
-        except Exception:
-            out.append((index, False, (job.kind, dict(job.params), traceback.format_exc())))
-    return out
-
-
-def _raise_job_error(info: Tuple[str, Dict[str, Any], str]) -> None:
-    kind, params, trace = info
-    raise SimJobError(
-        f"job kind={kind!r} params={params!r} raised in worker:\n{trace}"
-    )
+START_METHOD_PREFERENCE = ("fork", "forkserver", "spawn")
 
 
 def _pool_context():
-    # fork keeps test-registered job kinds and the configured sys.path
-    # visible in workers; fall back to the platform default elsewhere.
-    methods = multiprocessing.get_all_start_methods()
-    return multiprocessing.get_context("fork" if "fork" in methods else None)
+    """An explicitly chosen multiprocessing context.
+
+    Preference chain fork -> forkserver -> spawn (first available), so
+    behaviour never depends on the platform default: fork keeps
+    test-registered job kinds and the configured sys.path visible in
+    workers; forkserver/spawn re-import modules, which still covers the
+    built-in kinds. ``REPRO_START_METHOD`` forces a specific method
+    (useful for exercising the spawn path on Linux).
+    """
+    available = multiprocessing.get_all_start_methods()
+    override = os.environ.get("REPRO_START_METHOD")
+    if override:
+        if override not in available:
+            raise ConfigurationError(
+                f"REPRO_START_METHOD={override!r} is not available on this "
+                f"platform (available: {', '.join(available)})"
+            )
+        return multiprocessing.get_context(override)
+    for method in START_METHOD_PREFERENCE:
+        if method in available:
+            return multiprocessing.get_context(method)
+    raise ConfigurationError(
+        "no usable multiprocessing start method "
+        f"(available: {', '.join(available) or 'none'})"
+    )
+
+
+def _format_job_failure(
+    kind: str, params: Dict[str, Any], label: Optional[str], trace: str
+) -> str:
+    who = f"{label} (kind={kind!r})" if label else f"kind={kind!r}"
+    return f"job {who} params={params!r} raised in worker:\n{trace}"
+
+
+def _worker_main(worker_id: int, task_queue, result_queue, chaos) -> None:
+    """Pool worker loop: run assigned jobs one at a time, never raise
+    across the pipe. Chaos injection (first attempt only): ``kill``
+    exits hard with no result (simulated OOM-kill); ``delay`` sleeps
+    past the job's deadline so the supervisor's timeout path fires.
+    """
+    while True:
+        item = task_queue.get()
+        if item is None:
+            return
+        index, job, attempt, timeout_s = item
+        if chaos is not None and attempt == 0:
+            key = job.key()
+            if chaos.decide(key, "kill"):
+                os._exit(CHAOS_KILL_EXIT)
+            if timeout_s is not None and chaos.decide(key, "delay"):
+                time.sleep(2.0 * timeout_s + 0.5)
+        try:
+            payload = execute_job(job)
+        except Exception:
+            result_queue.put(
+                (
+                    worker_id,
+                    index,
+                    attempt,
+                    False,
+                    (job.kind, dict(job.params), job.label, traceback.format_exc()),
+                )
+            )
+        else:
+            result_queue.put((worker_id, index, attempt, True, payload))
+
+
+class _WorkerHandle:
+    """One supervised worker process plus its private task queue."""
+
+    __slots__ = ("context", "worker_id", "task_queue", "process", "current")
+
+    def __init__(self, context, worker_id: int, result_queue, chaos):
+        self.context = context
+        self.worker_id = worker_id
+        self.task_queue = context.Queue()
+        self.process = context.Process(
+            target=_worker_main,
+            args=(worker_id, self.task_queue, result_queue, chaos),
+            daemon=True,
+        )
+        self.process.start()
+        self.current: Optional[Tuple[int, SimJob, int, Optional[float]]] = None
+
+    def assign(self, index: int, job: SimJob, attempt: int, timeout_s) -> None:
+        deadline = time.monotonic() + timeout_s if timeout_s is not None else None
+        self.current = (index, job, attempt, deadline)
+        self.task_queue.put((index, job, attempt, timeout_s))
+
+    def _discard_queue(self) -> None:
+        self.task_queue.close()
+        self.task_queue.cancel_join_thread()
+
+    def kill(self) -> None:
+        """Hard stop: terminate, escalate to SIGKILL, reap."""
+        process = self.process
+        if process.is_alive():
+            process.terminate()
+            process.join(timeout=2.0)
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=2.0)
+        self._discard_queue()
+
+    def stop(self) -> None:
+        """Cooperative stop: sentinel, bounded join, then force."""
+        try:
+            self.task_queue.put(None)
+        except Exception:
+            pass
+        self.process.join(timeout=2.0)
+        if self.process.is_alive():
+            self.kill()
+        else:
+            self._discard_queue()
+
+
+class _PoolBroken(Exception):
+    """Internal: the pool burnt its restart budget; carry the jobs that
+    still need running so the caller can fall back to serial."""
+
+    def __init__(self, remaining: List[Tuple[int, SimJob]], reason: str):
+        super().__init__(reason)
+        self.remaining = remaining
+        self.reason = reason
+
+
+def _run_missing_serial(
+    missing: Sequence[Tuple[int, SimJob]],
+    complete: Callable[[int, SimJob, Any, int], None],
+) -> None:
+    """In-process execution: permanent failures raise immediately.
+
+    There is no crash/timeout surface in-process (nothing to kill), so
+    kill/delay chaos channels do not apply here — cache corruption
+    still does, via ``complete``'s write-through path.
+    """
+    for index, job in missing:
+        try:
+            payload = execute_job(job)
+        except SimJobError:
+            raise
+        except Exception:
+            raise JobExecutionError(
+                _format_job_failure(
+                    job.kind, dict(job.params), job.label, traceback.format_exc()
+                )
+            ) from None
+        complete(index, job, payload, 0)
+
+
+def _run_missing_pooled(
+    missing: Sequence[Tuple[int, SimJob]],
+    pool_size: int,
+    policy: ExecutionPolicy,
+    stats: FabricStats,
+    complete: Callable[[int, SimJob, Any, int], None],
+) -> None:
+    """Supervised pool execution of ``missing`` (index, job) pairs.
+
+    The supervisor hands one job at a time to each worker over a
+    private queue and collects results from a shared queue, so it can
+    enforce per-job wall-clock deadlines (kill + respawn the worker,
+    retry the job), detect dead workers (crash / OOM / chaos kill) and
+    apply the transient-retry budget with exponential backoff. Raises
+    the appropriate :class:`SimJobError` subtype on permanent failure
+    and :class:`_PoolBroken` once worker restarts exceed their budget.
+    """
+    context = _pool_context()
+    chaos = policy.chaos
+    result_queue = context.Queue()
+    max_restarts = (
+        policy.max_worker_restarts
+        if policy.max_worker_restarts is not None
+        else 3 * pool_size
+    )
+
+    job_of: Dict[int, SimJob] = dict(missing)
+    pending: deque = deque((index, job, 0) for index, job in missing)
+    delayed: List[Tuple[float, int, int]] = []  # (ready_at, index, attempt)
+    outstanding = set(job_of)
+    attempts_of: Dict[int, int] = {index: 0 for index in job_of}
+    completions = 0
+    restarts = 0
+    workers: List[_WorkerHandle] = []
+
+    def remaining_jobs() -> List[Tuple[int, SimJob]]:
+        left = {index: job_of[index] for index in outstanding}
+        return sorted(left.items())
+
+    def handle_transient(index: int, attempt: int, failure: SimJobError) -> None:
+        if attempt >= policy.retries:
+            raise RetryBudgetExceededError(
+                f"job {job_of[index].describe()} failed {attempt + 1} "
+                f"attempt(s); retry budget ({policy.retries}) exhausted"
+            ) from failure
+        stats.retries += 1
+        next_attempt = attempt + 1
+        attempts_of[index] = next_attempt
+        backoff = min(policy.backoff_cap_s, policy.backoff_base_s * (2**attempt))
+        delayed.append((time.monotonic() + backoff, index, next_attempt))
+        logger.warning(
+            "%s -- retrying in %.2gs (attempt %d of %d)",
+            failure,
+            backoff,
+            next_attempt + 1,
+            policy.retries + 1,
+        )
+
+    try:
+        try:
+            for worker_id in range(pool_size):
+                workers.append(_WorkerHandle(context, worker_id, result_queue, chaos))
+        except OSError as exc:
+            raise _PoolBroken(remaining_jobs(), f"could not start pool: {exc}")
+
+        while outstanding:
+            now = time.monotonic()
+            if delayed:
+                ready = [item for item in delayed if item[0] <= now]
+                if ready:
+                    delayed[:] = [item for item in delayed if item[0] > now]
+                    for _, index, attempt in sorted(ready, key=lambda item: item[1]):
+                        pending.append((index, job_of[index], attempt))
+            for worker in workers:
+                if worker.current is None and pending:
+                    index, job, attempt = pending.popleft()
+                    worker.assign(index, job, attempt, policy.timeout_s)
+
+            try:
+                worker_id, index, attempt, ok, payload = result_queue.get(
+                    timeout=_POLL_INTERVAL_S
+                )
+            except queue_module.Empty:
+                pass
+            else:
+                worker = workers[worker_id]
+                if (
+                    worker.current is not None
+                    and worker.current[0] == index
+                    and worker.current[2] == attempt
+                ):
+                    worker.current = None
+                if index in outstanding and attempt == attempts_of[index]:
+                    if ok:
+                        outstanding.discard(index)
+                        completions += 1
+                        complete(index, job_of[index], payload, attempt)
+                        if (
+                            chaos is not None
+                            and chaos.abort_after is not None
+                            and completions >= chaos.abort_after
+                        ):
+                            raise KeyboardInterrupt(
+                                f"chaos: abort after {completions} completions"
+                            )
+                    else:
+                        kind, params, label, trace = payload
+                        raise JobExecutionError(
+                            _format_job_failure(kind, params, label, trace)
+                        )
+
+            now = time.monotonic()
+            for slot, worker in enumerate(workers):
+                current = worker.current
+                if current is not None:
+                    index, job, attempt, deadline = current
+                    if deadline is not None and now > deadline:
+                        stats.timeouts += 1
+                        worker.kill()
+                        restarts += 1
+                        workers[slot] = _WorkerHandle(
+                            context, slot, result_queue, chaos
+                        )
+                        if index in outstanding and attempt == attempts_of[index]:
+                            handle_transient(
+                                index,
+                                attempt,
+                                JobTimeoutError(
+                                    f"job {job.describe()} exceeded its "
+                                    f"{policy.timeout_s:.3g}s wall-clock deadline "
+                                    f"(attempt {attempt + 1}); worker killed"
+                                ),
+                            )
+                        continue
+                if not worker.process.is_alive():
+                    exitcode = worker.process.exitcode
+                    worker.kill()
+                    restarts += 1
+                    workers[slot] = _WorkerHandle(context, slot, result_queue, chaos)
+                    if current is not None:
+                        index, job, attempt, _ = current
+                        if index in outstanding and attempt == attempts_of[index]:
+                            stats.crashes += 1
+                            handle_transient(
+                                index,
+                                attempt,
+                                WorkerCrashError(
+                                    f"worker died (exit code {exitcode}) while "
+                                    f"running job {job.describe()} "
+                                    f"(attempt {attempt + 1})"
+                                ),
+                            )
+            if restarts > max_restarts:
+                raise _PoolBroken(
+                    remaining_jobs(),
+                    f"{restarts} worker restarts exceeded the budget of "
+                    f"{max_restarts}",
+                )
+    finally:
+        for worker in workers:
+            with contextlib.suppress(Exception):
+                worker.stop()
+        result_queue.close()
+        result_queue.cancel_join_thread()
 
 
 def run_jobs(
     jobs: Sequence[SimJob],
     workers: Optional[int] = None,
     cache: Optional[ResultCache] = None,
+    policy: Optional[ExecutionPolicy] = None,
 ) -> List[Any]:
     """Execute ``jobs`` and return decoded results in job order.
 
     ``workers=None`` resolves through :func:`default_workers`;
     ``workers=1`` (or a single missing job) runs in-process. With a
     ``cache``, hits skip execution entirely and fresh results are stored
-    back; the returned objects are identical either way because both
-    paths round-trip through the job kind's encode/decode pair.
+    back *as they finish* (write-through), next to an append-only
+    :class:`SweepJournal` — which is what makes an interrupted sweep
+    resumable with only the missing cells recomputed. ``policy``
+    (default: the process-wide :func:`get_execution_policy`) controls
+    timeouts, the transient-retry budget, serial fallback and chaos
+    injection. The returned objects are identical across every path —
+    serial, pooled, retried, resumed or cached — because all of them
+    round-trip through the job kind's encode/decode pair.
     """
     resolved = default_workers() if workers is None else max(1, workers)
+    active = policy if policy is not None else get_execution_policy()
+    stats = FabricStats(jobs=len(jobs))
+    global _LAST_STATS
+    _LAST_STATS = stats
+
     payloads: List[Optional[Any]] = [None] * len(jobs)
     done = [False] * len(jobs)
 
+    journal: Optional[SweepJournal] = None
+    resumable = 0
+    if cache is not None and jobs:
+        sid = sweep_id(jobs)
+        journal = SweepJournal(cache.root / "journals" / f"{sid}.jsonl")
+        prior = SweepJournal.load(journal.path)
+        if prior and not any(r.get("event") == "sweep_complete" for r in prior):
+            resumable = sum(1 for r in prior if r.get("event") == "job_done")
+            logger.warning(
+                "sweep %s: interrupted journal found (%d cells already "
+                "complete) -- resuming from the cache",
+                sid,
+                resumable,
+            )
+        journal.append(
+            {
+                "event": "sweep_start",
+                "sweep_id": sid,
+                "jobs": len(jobs),
+                "resumed": bool(resumable) or active.resume,
+                "ts": time.time(),
+            }
+        )
+
+    corrupt_before = cache.corrupt if cache is not None else 0
     if cache is not None:
         for index, job in enumerate(jobs):
             hit = cache.get(job)
             if hit is not None:
                 payloads[index] = hit
                 done[index] = True
+        stats.cached = sum(done)
+        stats.quarantined = cache.corrupt - corrupt_before
+        if resumable:
+            stats.resumed_cells = stats.cached
 
     missing = [(index, job) for index, job in enumerate(jobs) if not done[index]]
+
+    def complete(index: int, job: SimJob, payload: Any, attempt: int) -> None:
+        payloads[index] = payload
+        done[index] = True
+        stats.fresh += 1
+        if cache is not None:
+            cache.put(job, payload)
+            if active.chaos is not None and active.chaos.decide(job.key(), "corrupt"):
+                from repro.harness.chaos import corrupt_cache_entry
+
+                corrupt_cache_entry(cache, job)
+        if journal is not None:
+            journal.append(
+                {
+                    "event": "job_done",
+                    "key": job.key(),
+                    "kind": job.kind,
+                    "label": job.label,
+                    "attempt": attempt,
+                    "ts": time.time(),
+                }
+            )
+
     if missing:
         if resolved <= 1 or len(missing) == 1:
-            for index, job in missing:
-                try:
-                    payloads[index] = execute_job(job)
-                except SimJobError:
-                    raise
-                except Exception:
-                    _raise_job_error((job.kind, dict(job.params), traceback.format_exc()))
+            _run_missing_serial(missing, complete)
         else:
             pool_size = min(resolved, len(missing))
-            shards = [missing[offset::pool_size] for offset in range(pool_size)]
-            context = _pool_context()
-            with context.Pool(processes=pool_size) as pool:
-                for batch in pool.map(_run_shard, shards):
-                    for index, ok, payload in batch:
-                        if not ok:
-                            _raise_job_error(payload)
-                        payloads[index] = payload
-        if cache is not None:
-            for index, job in missing:
-                cache.put(job, payloads[index])
+            try:
+                _run_missing_pooled(missing, pool_size, active, stats, complete)
+            except _PoolBroken as broken:
+                if not active.fallback_serial:
+                    raise WorkerCrashError(
+                        f"worker pool degraded ({broken.reason}) and serial "
+                        "fallback is disabled"
+                    ) from None
+                stats.degraded = True
+                logger.warning(
+                    "worker pool degraded (%s) -- falling back to in-process "
+                    "serial execution for the %d remaining job(s)",
+                    broken.reason,
+                    len(broken.remaining),
+                )
+                _run_missing_serial(broken.remaining, complete)
 
+    if journal is not None:
+        journal.append(
+            {
+                "event": "sweep_complete",
+                "fresh": stats.fresh,
+                "cached": stats.cached,
+                "ts": time.time(),
+            }
+        )
     return [decode_result(job, payloads[index]) for index, job in enumerate(jobs)]

@@ -7,6 +7,15 @@ process pool (``--workers`` / ``REPRO_WORKERS``) and memoize finished
 cells in a content-addressed on-disk cache (``--cache-dir`` /
 ``REPRO_CACHE_DIR``; ``--no-cache`` disables), so repeated runs skip
 already-simulated cells; see :mod:`repro.harness.parallel`.
+
+Resilience: ``--timeout`` puts a wall-clock deadline on every cell
+(hung workers are killed and the cell retried), ``--retries`` bounds
+the transient-retry budget, and an interrupted sweep (Ctrl-C, SIGKILL,
+OOM) picks up where it left off with ``--resume`` — completed cells are
+written through to the cache and journaled as they finish, so only the
+missing cells are recomputed and the final report bytes are identical
+to an uninterrupted run. ``--chaos`` injects deterministic faults for
+testing (see :mod:`repro.harness.chaos`).
 """
 
 from __future__ import annotations
@@ -19,11 +28,17 @@ import sys
 import time
 from typing import List, Optional
 
+from repro.common.errors import PTGuardError
 from repro.harness.experiments import EXPERIMENTS
-from repro.harness.parallel import ResultCache
+from repro.harness.parallel import (
+    ExecutionPolicy,
+    ResultCache,
+    execution_policy,
+    last_run_stats,
+)
 
 
-def main(argv: Optional[List[str]] = None) -> int:
+def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="ptguard-repro",
         description="PT-Guard (DSN 2023) reproduction experiments",
@@ -47,6 +62,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         "(default: REPRO_WORKERS or the CPU count; 1 = fully in-process)",
     )
     parser.add_argument(
+        "--workloads",
+        type=str,
+        default=None,
+        metavar="A,B,...",
+        help="comma-separated workload subset for fig6/fig7/fig9 "
+        "(default: each figure's full set)",
+    )
+    parser.add_argument(
         "--no-cache",
         action="store_true",
         help="always re-simulate; do not read or write the result cache",
@@ -64,11 +87,82 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=None,
         help="write {experiment: seconds} timing JSON to this path",
     )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-cell wall-clock deadline; a hung worker is killed and the "
+        "cell retried (default: REPRO_TIMEOUT or no deadline)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="retry budget for transient cell failures -- worker crashes and "
+        "timeouts (default: REPRO_RETRIES or 2)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume an interrupted sweep from its journal + cache, "
+        "recomputing only the missing cells (requires the cache)",
+    )
+    parser.add_argument(
+        "--chaos",
+        type=str,
+        default=None,
+        metavar="SPEC",
+        help="deterministic fault injection for testing, e.g. "
+        "'seed=3,kill=0.1,delay=0.05,corrupt=0.1' (default: REPRO_CHAOS)",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = _build_parser()
     args = parser.parse_args(argv)
+
+    if args.resume and args.no_cache:
+        parser.error("--resume needs the result cache (drop --no-cache)")
+
+    policy = ExecutionPolicy.from_env()
+    if args.timeout is not None:
+        policy.timeout_s = max(0.001, args.timeout)
+    if args.retries is not None:
+        policy.retries = max(0, args.retries)
+    policy.resume = args.resume
+    if args.chaos:
+        from repro.harness.chaos import ChaosPolicy
+
+        try:
+            policy.chaos = ChaosPolicy.from_spec(args.chaos)
+        except ValueError as exc:
+            parser.error(f"--chaos: {exc}")
+
+    workload_subset = (
+        [name.strip() for name in args.workloads.split(",") if name.strip()]
+        if args.workloads
+        else None
+    )
 
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     timings = {}
+    failures: List[str] = []
+    try:
+        with execution_policy(policy):
+            return _run_experiments(
+                args, cache, names, timings, failures, workload_subset
+            )
+    except KeyboardInterrupt:
+        print("interrupted — rerun with --resume", file=sys.stderr)
+        return 130
+
+
+def _run_experiments(args, cache, names, timings, failures, workload_subset) -> int:
+    """The experiment loop; KeyboardInterrupt propagates to main()."""
     for name in names:
         function = EXPERIMENTS[name]
         parameters = inspect.signature(function).parameters
@@ -79,17 +173,39 @@ def main(argv: Optional[List[str]] = None) -> int:
             kwargs["workers"] = args.workers
         if "cache" in parameters:
             kwargs["cache"] = cache
+        if "workloads" in parameters and workload_subset is not None:
+            kwargs["workloads"] = workload_subset
         start = time.time()
-        report = function(**kwargs)
+        try:
+            report = function(**kwargs)
+        except PTGuardError as exc:
+            failures.append(name)
+            print(f"error: experiment {name!r} failed: {exc}", file=sys.stderr)
+            continue
         timings[name] = time.time() - start
         print(report)
         print(f"[{name}: {timings[name]:.1f}s]")
+        stats = last_run_stats()
+        if stats.jobs and stats.eventful():
+            print(
+                f"[{name} fabric: {stats.fresh} fresh / {stats.cached} cached"
+                f" ({stats.resumed_cells} resumed), retries={stats.retries},"
+                f" timeouts={stats.timeouts}, crashes={stats.crashes},"
+                f" quarantined={stats.quarantined}, degraded={stats.degraded}]",
+                file=sys.stderr,
+            )
         print()
     if args.json_summary is not None:
         args.json_summary.parent.mkdir(parents=True, exist_ok=True)
         args.json_summary.write_text(
             json.dumps(timings, indent=2, sort_keys=True) + "\n", encoding="utf-8"
         )
+    if failures:
+        print(
+            f"{len(failures)} experiment(s) failed: {', '.join(failures)}",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

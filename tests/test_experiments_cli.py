@@ -87,3 +87,60 @@ class TestCLI:
             ["storage", "--workers", "2", "--cache-dir", str(tmp_path / "c")]
         ) == 0
         assert not (tmp_path / "c").exists()
+
+class TestCLIResilienceFlags:
+    def test_resume_without_cache_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["storage", "--resume", "--no-cache"])
+        assert excinfo.value.code == 2
+        assert "--resume needs the result cache" in capsys.readouterr().err
+
+    def test_bad_chaos_spec_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["storage", "--chaos", "kill=2.0"])
+        assert excinfo.value.code == 2
+        assert "--chaos" in capsys.readouterr().err
+
+    def test_timeout_retries_chaos_flags_reach_the_policy(self, capsys, monkeypatch):
+        from repro.harness import parallel
+        from repro.harness.chaos import ChaosPolicy
+        from repro.harness.experiments import EXPERIMENTS
+
+        seen = {}
+
+        def probe(**kwargs):
+            seen["policy"] = parallel.get_execution_policy()
+            return "probe report"
+
+        monkeypatch.setitem(EXPERIMENTS, "storage", probe)
+        assert main(
+            ["storage", "--timeout", "3.5", "--retries", "7",
+             "--chaos", "seed=2,kill=0.1", "--no-cache"]
+        ) == 0
+        policy = seen["policy"]
+        assert policy.timeout_s == 3.5 and policy.retries == 7
+        assert policy.chaos == ChaosPolicy(seed=2, kill=0.1)
+
+    def test_experiment_failure_exits_nonzero(self, capsys, monkeypatch):
+        from repro.common.errors import SimulationError
+        from repro.harness.experiments import EXPERIMENTS
+
+        def broken(**kwargs):
+            raise SimulationError("injected failure")
+
+        monkeypatch.setitem(EXPERIMENTS, "storage", broken)
+        assert main(["storage", "--no-cache"]) == 1
+        err = capsys.readouterr().err
+        assert "storage" in err and "injected failure" in err
+
+    def test_keyboard_interrupt_exits_130_with_hint(self, capsys, monkeypatch):
+        from repro.harness.experiments import EXPERIMENTS
+
+        def interrupted(**kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setitem(EXPERIMENTS, "storage", interrupted)
+        assert main(["storage", "--no-cache"]) == 130
+        captured = capsys.readouterr()
+        assert "rerun with --resume" in captured.err
+        assert "Traceback" not in captured.err
