@@ -29,6 +29,11 @@ from repro.analysis.pte_profile import (
     run_figure8,
     synthesize_population,
 )
+from repro.analysis.fault_matrix import (
+    format_fault_matrix,
+    run_fault_matrix,
+    single_bit_summary,
+)
 from repro.analysis.reporting import ascii_bars, banner, format_table
 
 __all__ = [
@@ -53,6 +58,9 @@ __all__ = [
     "profile_process",
     "run_figure8",
     "synthesize_population",
+    "format_fault_matrix",
+    "run_fault_matrix",
+    "single_bit_summary",
     "ascii_bars",
     "banner",
     "format_table",

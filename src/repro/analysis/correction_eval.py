@@ -109,6 +109,16 @@ def _walked_pte_lines(system: System, process: Process) -> List[int]:
     return sorted(lines)
 
 
+def workload_process(system: System, name: str, seed: int) -> Process:
+    """Public alias of :func:`_workload_process` (used by fault campaigns)."""
+    return _workload_process(system, name, seed)
+
+
+def walked_pte_lines(system: System, process: Process) -> List[int]:
+    """Public alias of :func:`_walked_pte_lines` (used by fault campaigns)."""
+    return _walked_pte_lines(system, process)
+
+
 def evaluate_workload(
     workload: str,
     p_flip: float,

@@ -1,0 +1,128 @@
+"""Fault-campaign reporting: Fig 9's coverage, extended scenario matrix.
+
+The paper's Fig 9 measures best-effort correction over uniform per-bit
+PTE flips; the campaign reproduces that regime (the ``uniform`` scenario)
+and extends it to targeted adversarial scenarios — GbHammer-style global
+bits, PFN-only, flags-only, embedded-MAC bits, bursts and unprotected
+data lines — each classified into the five-class outcome taxonomy of
+:mod:`repro.faults.campaign`.
+
+Two guarantees the report states explicitly:
+
+* **Detection** (Sec IV-F): single-bit PTE faults must show *zero*
+  silent corruption — a 96-bit MAC catches any protected-bit change and
+  soft-match tolerates MAC-bit flips.
+* **Correction** (Sec VI): single-bit faults are fully correctable
+  (flip-and-check enumerates every protected position; soft-match covers
+  the MAC field), and uniform-flip coverage tracks Fig 9.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.analysis.reporting import banner, format_table
+from repro.faults.campaign import (
+    OUTCOME_CLASSES,
+    SINGLE_BIT_PTE_SCENARIOS,
+    CampaignResult,
+    run_campaign,
+)
+
+_CLASS_HEADERS = {
+    "detected_corrected": "corrected",
+    "detected_uncorrectable": "uncorrectable",
+    "silent_corruption": "silent",
+    "masked_benign": "benign",
+    "sim_crash": "crash",
+}
+
+
+def single_bit_summary(result: CampaignResult) -> dict:
+    """Aggregate the single-bit PTE scenarios (the paper's guarantees)."""
+    cells = result.single_bit_pte_cells()
+    erroneous = sum(cell.erroneous for cell in cells)
+    corrected = sum(cell.outcome("detected_corrected") for cell in cells)
+    silent = sum(cell.outcome("silent_corruption") for cell in cells)
+    return {
+        "trials": sum(cell.trials for cell in cells),
+        "protected_tampered": sum(cell.protected_tampered for cell in cells),
+        "erroneous": erroneous,
+        "corrected": corrected,
+        "silent": silent,
+        "corrected_fraction": corrected / erroneous if erroneous else 0.0,
+    }
+
+
+def format_fault_matrix(result: CampaignResult) -> str:
+    """Render the scenario-by-outcome matrix plus the guarantee lines."""
+    headers = ["scenario", "target", "trials", "bits"] + [
+        _CLASS_HEADERS[klass] for klass in OUTCOME_CLASSES
+    ] + ["corr-frac"]
+    rows = []
+    for cell in result.cells:
+        rows.append(
+            [
+                cell.scenario,
+                cell.target,
+                cell.trials,
+                cell.bits_injected,
+                *[cell.outcome(klass) for klass in OUTCOME_CLASSES],
+                f"{cell.corrected_fraction:.3f}",
+            ]
+        )
+    histogram = result.histogram()
+    summary = single_bit_summary(result)
+
+    lines = [
+        banner("Fault-injection campaign (outcome taxonomy, Fig 9 extended)"),
+        format_table(headers, rows),
+        "",
+        "aggregate: "
+        + ", ".join(f"{klass}={count}" for klass, count in histogram.items()),
+        (
+            f"single-bit PTE faults: {summary['trials']} trials, "
+            f"{summary['silent']} silent corruptions "
+            f"(detection guarantee: 0), corrected fraction "
+            f"{summary['corrected_fraction']:.3f} (Sec VI: 1.000)"
+        ),
+    ]
+    uniform = result.cell("uniform")
+    if uniform is not None:
+        lines.append(
+            f"uniform flips (Fig 9 regime): corrected fraction "
+            f"{uniform.corrected_fraction:.3f} over "
+            f"{uniform.erroneous} erroneous lines"
+        )
+    data = result.cell("data_single")
+    if data is not None:
+        lines.append(
+            f"unprotected data lines: {data.outcome('silent_corruption')}/"
+            f"{data.trials} silent by design — PT-Guard's protection "
+            f"boundary covers page tables only"
+        )
+    validated = sum(cell.invariant_sweeps for cell in result.cells)
+    if validated:
+        lines.append(f"runtime validator: {validated} invariant sweeps, all clean")
+    return "\n".join(lines)
+
+
+def run_fault_matrix(
+    scenarios: Optional[Sequence[str]] = None,
+    trials_per_cell: int = 120,
+    seed: int = 11,
+    workload: str = "povray",
+    validate: bool = False,
+    workers: Optional[int] = None,
+    cache=None,
+) -> CampaignResult:
+    """Run the campaign behind the fault-matrix report."""
+    return run_campaign(
+        scenarios=scenarios,
+        trials_per_cell=trials_per_cell,
+        seed=seed,
+        workload=workload,
+        validate=validate,
+        workers=workers,
+        cache=cache,
+    )

@@ -304,3 +304,57 @@ class CacheHierarchy:
     @property
     def llc_misses(self) -> int:
         return self.stats.get("llc_misses")
+
+
+def register_invariants(
+    checker, hierarchy: CacheHierarchy, memory, tampered_fn=None
+) -> None:
+    """Register cache-consistency checks over a private hierarchy.
+
+    Two invariants of the write-back protocol:
+
+    * **clean-above-dirty**: wherever adjacent levels both hold a line and
+      the upper copy is clean, the copies must be byte-identical (a clean
+      upper copy can only have been filled from below and never diverges
+      until dirtied).
+    * **clean-vs-memory**: a line clean at every level that holds it, with
+      no dirty copy anywhere, must match backing memory — either the raw
+      stored bytes or their metadata-stripped form (PTE lines are
+      installed post-strip). Lines named by ``tampered_fn()`` are skipped:
+      caches *legitimately* shield pre-flip data after a Rowhammer/injected
+      fault until eviction, and the attack experiments rely on it.
+
+    Reads go straight to ``memory`` (never through the controller) so the
+    check is side-effect-free.
+    """
+    from repro.core import pattern
+
+    def check():
+        tampered = tampered_fn() if tampered_fn is not None else frozenset()
+        violations = []
+        copies = {}  # address -> list of (level_name, CacheLine)
+        for name, cache in zip(hierarchy._names, hierarchy._levels):
+            for set_index, lines in cache._sets.items():
+                for tag, line in lines.items():
+                    address = cache._compose(set_index, tag)
+                    copies.setdefault(address, []).append((name, line))
+        for address, held in copies.items():
+            for (upper_name, upper), (lower_name, lower) in zip(held, held[1:]):
+                if not upper.dirty and upper.data != lower.data:
+                    violations.append(
+                        f"line {address:#x}: clean {upper_name} copy differs "
+                        f"from {lower_name} copy"
+                    )
+            if address in tampered or any(line.dirty for _, line in held):
+                continue
+            stored = memory.read_line(address)
+            candidates = (stored, pattern.strip_mac(stored), pattern.strip_metadata(stored))
+            top = held[0][1].data
+            if top not in candidates:
+                violations.append(
+                    f"line {address:#x}: clean cached copy matches neither "
+                    f"backing memory nor its metadata-stripped form"
+                )
+        return violations
+
+    checker.register("cache_consistency", check)

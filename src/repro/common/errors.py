@@ -59,6 +59,19 @@ class SimulationError(PTGuardError):
     """The simulator reached an internally inconsistent state."""
 
 
+class InvariantViolation(SimulationError):
+    """A runtime self-check found simulator state inconsistent.
+
+    Raised by the opt-in validator (:mod:`repro.faults.invariants`,
+    ``--validate`` / ``REPRO_VALIDATE``) when a registered invariant
+    fails: a TLB entry disagreeing with a shadow walk of the live page
+    tables, an MMU/page-walk cache entry diverging from memory, cache
+    hierarchy inconsistency, or the table-driven MAC diverging from the
+    reference path. Distinguishes SDC in the *simulator* from SDC the
+    *defense* missed — never caught by fault-campaign classification.
+    """
+
+
 # -- experiment-fabric failures (repro.harness.parallel) ----------------------
 #
 # The fabric distinguishes *transient* failures — a worker process died

@@ -123,6 +123,52 @@ class StatGroup:
         return f"StatGroup({self.name}: {inner})"
 
 
+class TaxonomyCounter:
+    """Counters over a *closed* set of outcome classes.
+
+    Unlike :class:`StatGroup` (lazy, open-ended), a taxonomy fixes its
+    classes up front: every class renders in its declared order even at
+    zero, and incrementing an unknown class is an error rather than a
+    silently-created counter. Used for fault-campaign outcome
+    classification, where a typo'd class would corrupt the histogram.
+    """
+
+    __slots__ = ("name", "classes", "_counters")
+
+    def __init__(self, name: str, classes):
+        self.name = name
+        self.classes = tuple(classes)
+        if len(set(self.classes)) != len(self.classes):
+            raise ValueError(f"duplicate classes in taxonomy {name!r}")
+        self._counters: Dict[str, int] = {c: 0 for c in self.classes}
+
+    def increment(self, klass: str, amount: int = 1) -> None:
+        if klass not in self._counters:
+            raise KeyError(
+                f"unknown class {klass!r} for taxonomy {self.name!r}; "
+                f"expected one of {self.classes}"
+            )
+        self._counters[klass] += amount
+
+    def get(self, klass: str) -> int:
+        if klass not in self._counters:
+            raise KeyError(
+                f"unknown class {klass!r} for taxonomy {self.name!r}"
+            )
+        return self._counters[klass]
+
+    def total(self) -> int:
+        return sum(self._counters.values())
+
+    def as_dict(self) -> Dict[str, int]:
+        """All classes in declared order (zeros included)."""
+        return {c: self._counters[c] for c in self.classes}
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"TaxonomyCounter({self.name}: {inner})"
+
+
 def ratio(numerator: int, denominator: int) -> float:
     """Safe ratio helper: returns 0.0 when the denominator is zero."""
     return numerator / denominator if denominator else 0.0

@@ -34,6 +34,7 @@ from collections import OrderedDict
 from typing import NamedTuple
 
 from repro.common.bitops import hamming_distance
+from repro.common.errors import InvariantViolation
 from repro.common.stats import StatGroup
 from repro.crypto.mac import LineMAC
 from repro.core import pattern
@@ -72,6 +73,12 @@ class MACEngine:
         self._cache: "OrderedDict[int, tuple[bytes, int]] | None" = (
             OrderedDict() if verify_cache_entries > 0 else None
         )
+        # Differential oracle (repro.faults.invariants): every
+        # ``_oracle_period``-th fresh computation is recomputed through an
+        # independent reference path and must agree bit-for-bit.
+        self._oracle = None
+        self._oracle_period = 0
+        self._oracle_countdown = 0
         self.stats = StatGroup("mac_engine")
 
     @property
@@ -91,11 +98,47 @@ class MACEngine:
             self.stats.increment("verify_cache_misses")
         masked = pattern.mask_unprotected(line, self.max_phys_bits)
         tag = self.line_mac.compute(masked, address)
+        if self._oracle is not None:
+            self._oracle_countdown -= 1
+            if self._oracle_countdown <= 0:
+                self._oracle_countdown = self._oracle_period
+                self._check_oracle(masked, address, tag)
         if cache is not None:
             cache[address] = (line, tag)
             if len(cache) > self.verify_cache_entries:
                 cache.popitem(last=False)
         return tag
+
+    def attach_oracle(self, reference_compute, sample_period: int = 64) -> None:
+        """Arm the differential oracle (``--validate``).
+
+        ``reference_compute(masked_line, address)`` must be an
+        independently constructed MAC (for qarma: the cell-by-cell
+        reference path; see :func:`repro.crypto.mac.make_line_mac` with
+        ``reference=True``). One in ``sample_period`` fresh computations
+        is cross-checked; divergence raises
+        :class:`~repro.common.errors.InvariantViolation`.
+        """
+        if sample_period < 1:
+            raise ValueError("sample_period must be >= 1")
+        self._oracle = reference_compute
+        self._oracle_period = sample_period
+        self._oracle_countdown = 1  # check the very next computation
+
+    def detach_oracle(self) -> None:
+        self._oracle = None
+        self._oracle_period = 0
+        self._oracle_countdown = 0
+
+    def _check_oracle(self, masked: bytes, address: int, tag: int) -> None:
+        expected = self._oracle(masked, address)
+        self.stats.increment("oracle_checks")
+        if expected != tag:
+            self.stats.increment("oracle_divergences")
+            raise InvariantViolation(
+                f"MAC differential oracle diverged at line {address:#x}: "
+                f"fast path {tag:#x} != reference {expected:#x}"
+            )
 
     def invalidate_cached(self, address: int) -> None:
         """Drop the memoized tag for ``address`` (stored contents changed)."""
@@ -129,3 +172,28 @@ class MACEngine:
         if soft and distance <= self.soft_match_k:
             return VerifyResult(ok=True, distance=distance, soft=True)
         return VerifyResult(ok=False, distance=distance, soft=False)
+
+
+def register_invariants(checker, engine_fn, reference_fn) -> None:
+    """Register the MAC differential check with an invariant checker.
+
+    ``engine_fn``/``reference_fn`` are zero-argument callables resolving
+    the *current* engine and a fresh reference MAC — callables, not
+    objects, because :meth:`PTGuard.rekey` replaces the engine wholesale
+    and a captured instance would silently check a retired key.
+    """
+
+    def check():
+        engine = engine_fn()
+        reference = reference_fn()
+        probe = bytes(64)
+        expected = reference.compute(probe, 0)
+        actual = engine.line_mac.compute(probe, 0)
+        if expected != actual:
+            return [
+                f"MAC fast path diverges from reference on the zero line: "
+                f"{actual:#x} != {expected:#x}"
+            ]
+        return []
+
+    checker.register("mac_differential_oracle", check)

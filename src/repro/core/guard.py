@@ -95,6 +95,9 @@ class PTGuard:
                 almost_zero_threshold=config.almost_zero_threshold,
                 identifier=self.identifier if config.identifier_enabled else None,
             )
+        # Differential-oracle sampling period (None = disarmed). Kept on
+        # the guard, not the engine, so re-arming survives rekey().
+        self._oracle_period: Optional[int] = None
         self.stats = StatGroup("ptguard")
 
     # -- write path ---------------------------------------------------------
@@ -368,7 +371,40 @@ class PTGuard:
                 almost_zero_threshold=self.config.almost_zero_threshold,
                 identifier=self.identifier if self.config.identifier_enabled else None,
             )
+        if self._oracle_period is not None:
+            # The retired engine took its oracle with it; arm the new one
+            # against a reference MAC of the *new* epoch.
+            self.engine.attach_oracle(
+                self.build_reference_mac().compute, self._oracle_period
+            )
         self.ctb.clear()
+
+    # -- runtime validation (repro.faults.invariants) ---------------------------
+
+    def build_reference_mac(self):
+        """An independently constructed MAC for the differential oracle.
+
+        Same algorithm, secret, width and epoch as the live engine, but
+        built via the reference path (for qarma: the cell-by-cell cipher
+        instead of the lookup tables).
+        """
+        return make_line_mac(
+            self.mac_algorithm,
+            self._secret,
+            self.config.mac_bits,
+            epoch=self._epoch,
+            reference=True,
+        )
+
+    def arm_differential_oracle(self, sample_period: int = 64) -> None:
+        """Cross-check one in ``sample_period`` MAC computations against
+        the reference path; stays armed across :meth:`rekey`."""
+        self._oracle_period = sample_period
+        self.engine.attach_oracle(self.build_reference_mac().compute, sample_period)
+
+    def disarm_differential_oracle(self) -> None:
+        self._oracle_period = None
+        self.engine.detach_oracle()
 
     @property
     def epoch(self) -> int:

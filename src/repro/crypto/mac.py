@@ -45,16 +45,27 @@ class QarmaLineMAC:
     mac_bits:
         Tag width; 96 by default, 64 for the reduced design option
         discussed in Section VII-A.
+    use_tables:
+        Select the table-driven cipher fast path (default) or the
+        cell-by-cell reference path — the differential oracle in
+        :mod:`repro.faults.invariants` cross-checks one against the
+        other on sampled calls.
     """
 
-    def __init__(self, key: bytes, mac_bits: int = 96, rounds: int = 8):
+    def __init__(
+        self,
+        key: bytes,
+        mac_bits: int = 96,
+        rounds: int = 8,
+        use_tables: bool = True,
+    ):
         if len(key) != 32:
             raise ValueError("QARMA-128 key must be 32 bytes")
         if not 1 <= mac_bits <= 128:
             raise ValueError("mac_bits must lie in [1, 128]")
         self.mac_bits = mac_bits
         self.key_bytes = 32
-        self._cipher = Qarma128(key, rounds=rounds)
+        self._cipher = Qarma128(key, rounds=rounds, use_tables=use_tables)
         self._mask = (1 << mac_bits) - 1
 
     def compute(self, line: bytes, address: int) -> int:
@@ -181,17 +192,29 @@ def derive_key(secret: bytes, purpose: str, length: int) -> bytes:
 
 
 def make_line_mac(
-    algorithm: str, secret: bytes, mac_bits: int = 96, epoch: int = 0
+    algorithm: str,
+    secret: bytes,
+    mac_bits: int = 96,
+    epoch: int = 0,
+    reference: bool = False,
 ) -> LineMAC:
     """Factory for line MACs.
 
     ``algorithm`` is ``"qarma"`` (the paper's construction), ``"siphash"``
     (pure-Python, vector-validated) or ``"blake2"`` (fast C-backed default
     for large simulations). ``epoch`` selects the re-keying generation.
+    ``reference=True`` builds an independent oracle instance for the
+    runtime validator: for qarma it selects the cell-by-cell reference
+    cipher instead of the lookup tables; other algorithms get a freshly
+    derived instance (an independent-recomputation determinism check).
     """
     purpose = f"ptguard-mac-epoch-{epoch}"
     if algorithm == "qarma":
-        return QarmaLineMAC(derive_key(secret, purpose, 32), mac_bits=mac_bits)
+        return QarmaLineMAC(
+            derive_key(secret, purpose, 32),
+            mac_bits=mac_bits,
+            use_tables=not reference,
+        )
     if algorithm == "siphash":
         return SipHashLineMAC(derive_key(secret, purpose, 16), mac_bits=mac_bits)
     if algorithm == "blake2":

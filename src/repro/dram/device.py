@@ -17,7 +17,7 @@ The device sits below the memory controller. It models:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Protocol, Tuple
+from typing import Dict, Iterable, List, Optional, Protocol, Tuple
 
 from repro.common.config import DRAMConfig
 from repro.common.stats import StatGroup
@@ -180,6 +180,41 @@ class DRAMDevice:
         if cycle - self._last_refresh_cycle >= window_cycles:
             self._last_refresh_cycle = cycle
             self.refresh_window()
+
+    # -- synthetic fault injection (repro.faults) ------------------------------
+
+    def inject_fault(
+        self, line_address: int, bit_offsets: Iterable[int],
+        scenario: str = "injected",
+    ) -> List[BitFlip]:
+        """Flip ``bit_offsets`` of one line, bypassing the physics model.
+
+        Models an arbitrary disturbance (fault-injection campaigns, GbHammer
+        style attacks) landing directly in the cells. Flips are materialised
+        in backing memory and logged alongside Rowhammer flips with
+        ``distance=0`` so forensics and validators can tell them apart.
+        """
+        row_key = self.mapper.row_key_of(line_address)
+        flips: List[BitFlip] = []
+        for bit_offset in bit_offsets:
+            before = self.memory.read_bit(line_address, bit_offset)
+            self.memory.flip_bit(line_address, bit_offset)
+            flips.append(
+                BitFlip(
+                    row_key=row_key,
+                    line_address=line_address,
+                    bit_offset=bit_offset,
+                    direction="1->0" if before else "0->1",
+                    distance=0,
+                )
+            )
+        self._flips_log.extend(flips)
+        self.stats.increment("injected_flips", len(flips))
+        return flips
+
+    def tampered_lines(self) -> frozenset:
+        """Line addresses with at least one recorded flip (any origin)."""
+        return frozenset(flip.line_address for flip in self._flips_log)
 
     # -- functional data path (used by the memory controller) -------------------
 

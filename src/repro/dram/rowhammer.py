@@ -3,11 +3,12 @@
 Models the disturbance physics the paper's threat model assumes:
 
 * Every activation of row ``R`` deposits disturbance into its neighbours:
-  one unit into the distance-1 rows ``R +- 1`` and ``1/half_double_factor``
-  units into the distance-2 rows ``R +- 2``. A row whose *absorbed*
-  disturbance crosses the Rowhammer threshold (RTH) flips its vulnerable
-  cells. A refresh of a row restores its charge (absorbed disturbance
-  resets to zero).
+  a full unit into the distance-1 rows ``R +- 1`` and a much smaller dose
+  into the distance-2 rows ``R +- 2`` (scaled by
+  ``RowhammerProfile.half_double_factor`` — units are defined there). A
+  row whose *absorbed* disturbance crosses the Rowhammer threshold (RTH)
+  flips its vulnerable cells. A refresh of a row restores its charge
+  (absorbed disturbance resets to zero).
 * A *mitigation refresh* (the victim refresh TRR-like defenses issue)
   restores the refreshed row but re-activates its wordline, disturbing
   *its* neighbours — the Half-Double effect [30] by which refreshes of
@@ -42,11 +43,16 @@ class RowhammerProfile:
     name: str
     threshold: int  # absorbed disturbance (activations) needed to flip
     flip_probability: float  # fraction of cells that are flippable
-    # Direct distance-2 coupling is ~3 orders of magnitude weaker than
-    # distance-1 [30]; Half-Double flips are driven by the *mitigation
-    # refreshes* of distance-1 rows, not by direct coupling. With this
-    # default, hammering distance-2 rows alone (no defense issuing victim
-    # refreshes) cannot flip within a realistic activation budget.
+    # Units — a *disturbance divisor* (canonical definition, referenced by
+    # the module docstring): one activation deposits 1.0 disturbance units
+    # into each distance-1 neighbour and ``1 / half_double_factor`` units
+    # into each distance-2 neighbour. Direct distance-2 coupling is ~3
+    # orders of magnitude weaker than distance-1 [30]; Half-Double flips
+    # are driven by the *mitigation refreshes* of distance-1 rows, not by
+    # direct coupling. With the default of 2000, any realistic activation
+    # budget divided by this factor stays below every real profile's RTH,
+    # so hammering distance-2 rows alone (no defense issuing victim
+    # refreshes) cannot flip.
     half_double_factor: float = 2000.0
 
     @classmethod

@@ -1,0 +1,67 @@
+"""Fault injection and self-checking for the simulator core.
+
+Three pieces, independent of (and composable with) the Rowhammer physics
+model in :mod:`repro.dram.rowhammer`:
+
+* :mod:`repro.faults.inject` — deterministic, seed-addressed injectors
+  that flip bits anywhere in DRAM (PTE data bits, embedded MAC bits,
+  non-PT data lines, bursts) plus targeted scenario generators
+  (GbHammer-style global-bit flips, PFN-only, flags-only). Also home of
+  the shared deterministic decision primitives the chaos harness uses.
+* :mod:`repro.faults.campaign` — drives every injected fault to ground
+  through the walker/MAC/correction path and classifies the outcome
+  (detected+corrected, detected+uncorrectable, silent corruption,
+  masked/benign, simulator crash), fanning cells out through the
+  :mod:`repro.harness.parallel` fabric.
+* :mod:`repro.faults.invariants` — opt-in runtime validator
+  (``--validate`` / ``REPRO_VALIDATE``): TLB-vs-page-table shadow walks,
+  MMU-cache and cache-hierarchy consistency, and a differential MAC
+  oracle — so SDC in the *simulator* is distinguishable from SDC the
+  *defense* missed.
+"""
+
+from repro.faults.inject import (
+    ALL_SCENARIOS,
+    DATA_SCENARIOS,
+    PTE_SCENARIOS,
+    FaultInjector,
+    FaultSpec,
+    deterministic_choice,
+    deterministic_fraction,
+    garble_payload,
+)
+from repro.faults.campaign import (
+    OUTCOME_CLASSES,
+    CampaignCell,
+    CampaignResult,
+    campaign_cell_job,
+    run_campaign,
+    run_campaign_cell,
+)
+from repro.faults.invariants import (
+    InvariantChecker,
+    attach_validator,
+    set_validation,
+    validation_enabled,
+)
+
+__all__ = [
+    "ALL_SCENARIOS",
+    "DATA_SCENARIOS",
+    "PTE_SCENARIOS",
+    "FaultInjector",
+    "FaultSpec",
+    "deterministic_choice",
+    "deterministic_fraction",
+    "garble_payload",
+    "OUTCOME_CLASSES",
+    "CampaignCell",
+    "CampaignResult",
+    "campaign_cell_job",
+    "run_campaign",
+    "run_campaign_cell",
+    "InvariantChecker",
+    "attach_validator",
+    "set_validation",
+    "validation_enabled",
+]

@@ -1,0 +1,141 @@
+"""Opt-in runtime invariant checking (``--validate`` / ``REPRO_VALIDATE``).
+
+A fault-injection campaign is only as trustworthy as the simulator
+running it: a bug that desynchronises the TLB from the page tables, or
+the table-driven QARMA from the reference cipher, would masquerade as a
+defense outcome. The validator makes simulator SDC loud and distinct:
+
+* ``tlb_shadow_walk`` — every TLB entry must match a side-effect-free
+  re-walk of the live page tables (:func:`repro.mmu.walker.shadow_tlb_entry`);
+* ``mmu_cache_consistency`` — every cached upper-level PTE must equal the
+  in-memory entry (raw or metadata-stripped);
+* ``cache_consistency`` — write-back protocol invariants of the cache
+  hierarchy, plus clean lines vs backing memory;
+* ``mac_differential_oracle`` — the fast MAC path must agree with an
+  independently built reference (for qarma: cell-by-cell cipher vs
+  lookup tables), both on sampled live computations (armed via
+  :meth:`PTGuard.arm_differential_oracle`) and on a fixed probe here.
+
+All checks read raw memory directly — never through the controller or
+walker ports — so running them perturbs no statistics, DRAM row state or
+cache contents. Lines with recorded DRAM tampering are skipped where
+caches/TLBs legitimately shield stale data (that shielding is a modelled
+hardware property, not a bug).
+
+Overhead: zero when disabled (one ``is not None`` test on the MAC-compute
+path); with ``--validate`` a campaign pays one reference-MAC call per
+``sample_period`` computations plus a full sweep of TLB/MMU-cache/cache
+state per :meth:`InvariantChecker.run_all` call (campaigns run it every
+32 trials), ~10-20% wall clock at default settings.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, List
+
+from repro.common.errors import InvariantViolation
+from repro.common.stats import StatGroup
+
+_FALSY = ("", "0", "false", "no", "off")
+
+_override: bool | None = None
+
+
+def set_validation(enabled: bool | None) -> None:
+    """Force validation on/off in-process (None restores env control)."""
+    global _override
+    _override = enabled
+
+
+def validation_enabled() -> bool:
+    """True when the runtime validator should be attached.
+
+    Resolution order: :func:`set_validation` override, then the
+    ``REPRO_VALIDATE`` environment variable (falsy values: empty, ``0``,
+    ``false``, ``no``, ``off``).
+    """
+    if _override is not None:
+        return _override
+    return os.environ.get("REPRO_VALIDATE", "").strip().lower() not in _FALSY
+
+
+class InvariantChecker:
+    """A registry of named self-checks over live simulator state.
+
+    Components register zero-argument callables returning a list of
+    violation strings (empty = clean). :meth:`run_all` raises a single
+    :class:`~repro.common.errors.InvariantViolation` aggregating every
+    failure, so one sweep reports all inconsistencies at once.
+    """
+
+    def __init__(self):
+        self._checks: Dict[str, Callable[[], List[str]]] = {}
+        self.stats = StatGroup("invariants")
+
+    def register(self, name: str, check: Callable[[], List[str]]) -> None:
+        if name in self._checks:
+            raise ValueError(f"invariant {name!r} already registered")
+        self._checks[name] = check
+
+    @property
+    def names(self):
+        return tuple(self._checks)
+
+    def run_all(self, context: str = "") -> int:
+        """Run every registered check; returns the number run.
+
+        Raises :class:`InvariantViolation` listing all failures.
+        """
+        self.stats.increment("sweeps")
+        violations: List[str] = []
+        for name, check in self._checks.items():
+            self.stats.increment("checks_run")
+            for message in check():
+                violations.append(f"[{name}] {message}")
+        if violations:
+            self.stats.increment("violations", len(violations))
+            where = f" ({context})" if context else ""
+            raise InvariantViolation(
+                f"{len(violations)} invariant violation(s){where}:\n  "
+                + "\n  ".join(violations)
+            )
+        return len(self._checks)
+
+
+def attach_validator(system, oracle_period: int = 64) -> InvariantChecker:
+    """Wire every component's invariants to one checker for ``system``.
+
+    ``system`` is a :class:`repro.harness.system.System`. Registers the
+    TLB shadow-walk and MMU-cache checks against the kernel's walker, the
+    cache-consistency checks against the (single-core) hierarchy, and —
+    when a guard is present — arms the MAC differential oracle with
+    ``oracle_period`` sampling.
+    """
+    from repro.cache import hierarchy as _hierarchy
+    from repro.core import engine as _engine
+    from repro.mmu import tlb as _tlb
+    from repro.mmu import walker as _walker
+
+    checker = InvariantChecker()
+    kernel = system.kernel
+    tampered = system.dram.tampered_lines
+
+    _walker.register_invariants(checker, kernel.walker, kernel, tampered)
+    _tlb.register_invariants(
+        checker,
+        kernel.walker.tlb,
+        lambda asid, vpn: _walker.shadow_tlb_entry(kernel, asid, vpn),
+        tampered,
+    )
+    _hierarchy.register_invariants(
+        checker, system.hierarchy, system.memory, tampered
+    )
+    if system.guard is not None:
+        system.guard.arm_differential_oracle(oracle_period)
+        _engine.register_invariants(
+            checker,
+            lambda: system.guard.engine,
+            lambda: system.guard.build_reference_mac(),
+        )
+    return checker

@@ -12,7 +12,12 @@ key)``: a SHA-256 over those strings maps to a fraction in [0, 1) that
 is compared against the channel's probability. No RNG state, no
 ordering dependence — the same sweep with the same seed injects the
 same faults regardless of worker count, scheduling or retries, which is
-what lets tests assert exact, reproducible failure counts.
+what lets tests assert exact, reproducible failure counts. The decision
+function itself lives in :mod:`repro.faults.inject`
+(:func:`~repro.faults.inject.deterministic_fraction`), shared with the
+simulator-level fault injectors so harness and DRAM corruption draw from
+one audited primitive; the digest format is frozen by the byte-identity
+guarantees in ``tests/test_chaos.py``.
 
 Channels:
 
@@ -35,9 +40,10 @@ Activation: pass a policy programmatically, or use ``--chaos`` /
 
 from __future__ import annotations
 
-import hashlib
 from dataclasses import dataclass
 from typing import Optional
+
+from repro.faults.inject import deterministic_fraction, garble_payload
 
 _PROBABILITY_CHANNELS = ("kill", "delay", "corrupt")
 
@@ -53,15 +59,15 @@ class ChaosPolicy:
     abort_after: Optional[int] = None
 
     def decide(self, key: str, channel: str) -> bool:
-        """Deterministic verdict for one (job key, channel) pair."""
+        """Deterministic verdict for one (job key, channel) pair.
+
+        Delegates to the shared decision primitive — byte-identical to
+        the historical inline formula (asserted by the chaos tests).
+        """
         probability = getattr(self, channel)
         if probability <= 0.0:
             return False
-        digest = hashlib.sha256(
-            f"{self.seed}:{channel}:{key}".encode("utf-8")
-        ).digest()
-        fraction = int.from_bytes(digest[:8], "big") / 2**64
-        return fraction < probability
+        return deterministic_fraction(self.seed, channel, key) < probability
 
     @classmethod
     def from_spec(cls, spec: str) -> "ChaosPolicy":
@@ -110,4 +116,4 @@ def corrupt_cache_entry(cache, job) -> None:
         data = path.read_bytes()
     except OSError:
         return
-    path.write_bytes(b'{"chaos": "corrupt", ' + data[: max(1, len(data) // 2)])
+    path.write_bytes(garble_payload(data))

@@ -248,6 +248,31 @@ def experiment_figure9(
     return "\n".join(out)
 
 
+def experiment_campaign(
+    scale: float = 1.0,
+    workers: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+    scenarios: Optional[Sequence[str]] = None,
+    validate: Optional[bool] = None,
+) -> str:
+    """Fault-injection campaign: Fig 9's coverage plus the extended
+    scenario matrix under the five-class outcome taxonomy."""
+    from repro.analysis.fault_matrix import format_fault_matrix, run_fault_matrix
+    from repro.faults.invariants import validation_enabled
+
+    if validate is None:
+        validate = validation_enabled()
+    trials = max(20, int(120 * scale))
+    result = run_fault_matrix(
+        scenarios=scenarios,
+        trials_per_cell=trials,
+        validate=validate,
+        workers=workers,
+        cache=cache,
+    )
+    return format_fault_matrix(result)
+
+
 def experiment_security_analysis() -> str:
     """Sections IV-G and VI-E: the analytical security model."""
     out = [banner("Security analysis (Eq 1, Eq 2)")]
@@ -387,4 +412,5 @@ EXPERIMENTS = {
     "storage": experiment_storage,
     "attacks": experiment_attack_matrix,
     "multicore": experiment_multicore,
+    "campaign": experiment_campaign,
 }

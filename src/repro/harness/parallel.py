@@ -250,6 +250,29 @@ def _run_multicore_slowdown(params: Mapping[str, Any]) -> float:
     )
 
 
+def _run_fault_campaign_cell(params: Mapping[str, Any]):
+    from repro.faults.campaign import run_campaign_cell
+
+    return run_campaign_cell(
+        scenario=params["scenario"],
+        trials=params["trials"],
+        seed=params["seed"],
+        workload=params["workload"],
+        validate=params.get("validate", False),
+        mac_algorithm=params.get("mac_algorithm", "blake2"),
+    )
+
+
+def _encode_campaign_cell(cell) -> Dict[str, Any]:
+    return asdict(cell)
+
+
+def _decode_campaign_cell(payload):
+    from repro.faults.campaign import CampaignCell
+
+    return CampaignCell(**payload)
+
+
 register_job_kind(
     "workload_run", _run_workload_job, _encode_core_result, _decode_core_result
 )
@@ -260,6 +283,12 @@ register_job_kind(
     _decode_correction_stats,
 )
 register_job_kind("multicore_slowdown", _run_multicore_slowdown)
+register_job_kind(
+    "fault_campaign_cell",
+    _run_fault_campaign_cell,
+    _encode_campaign_cell,
+    _decode_campaign_cell,
+)
 
 
 # -- result cache -------------------------------------------------------------
@@ -297,10 +326,26 @@ class ResultCache:
     silently wrong report. Genuine I/O failures other than a missing
     file (e.g. ``EACCES``) are counted in ``io_errors`` and warned about
     once per cache instance instead of silently masquerading as misses.
+
+    The quarantine directory is bounded: once it exceeds
+    ``quarantine_limit`` entries (``REPRO_QUARANTINE_LIMIT``, default 64;
+    0 or negative disables the cap) the oldest entries are evicted and a
+    single summary line is logged, so repeated chaos runs keep recent
+    evidence without growing the directory forever.
     """
 
-    def __init__(self, root: Optional[pathlib.Path] = None):
+    def __init__(
+        self,
+        root: Optional[pathlib.Path] = None,
+        quarantine_limit: Optional[int] = None,
+    ):
         self.root = pathlib.Path(root) if root is not None else default_cache_dir()
+        if quarantine_limit is None:
+            quarantine_limit = int(
+                os.environ.get("REPRO_QUARANTINE_LIMIT", "64") or "64"
+            )
+        self.quarantine_limit = quarantine_limit
+        self.quarantine_evictions = 0
         self.hits = 0
         self.misses = 0
         self.corrupt = 0
@@ -329,6 +374,36 @@ class ResultCache:
             why,
             target,
         )
+        self._enforce_quarantine_limit()
+
+    def _enforce_quarantine_limit(self) -> None:
+        """Evict oldest quarantined entries beyond the cap (one log line)."""
+        limit = self.quarantine_limit
+        if limit is None or limit <= 0:
+            return
+        try:
+            entries = sorted(
+                self.quarantine_dir.glob("*.json"),
+                key=lambda p: (p.stat().st_mtime, p.name),
+            )
+        except OSError:
+            return
+        excess = len(entries) - limit
+        if excess <= 0:
+            return
+        evicted = 0
+        for path in entries[:excess]:
+            with contextlib.suppress(OSError):
+                path.unlink()
+                evicted += 1
+        if evicted:
+            self.quarantine_evictions += evicted
+            logger.warning(
+                "quarantine at cap (%d entries): evicted %d oldest "
+                "(REPRO_QUARANTINE_LIMIT raises the cap)",
+                limit,
+                evicted,
+            )
 
     def get(self, job: SimJob) -> Optional[Any]:
         """The encoded payload for ``job``, or None on a miss.
@@ -395,6 +470,7 @@ class ResultCache:
             "misses": self.misses,
             "corrupt": self.corrupt,
             "io_errors": self.io_errors,
+            "quarantine_evictions": self.quarantine_evictions,
         }
 
 

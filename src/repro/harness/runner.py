@@ -117,6 +117,21 @@ def _build_parser() -> argparse.ArgumentParser:
         help="deterministic fault injection for testing, e.g. "
         "'seed=3,kill=0.1,delay=0.05,corrupt=0.1' (default: REPRO_CHAOS)",
     )
+    parser.add_argument(
+        "--validate",
+        action="store_true",
+        help="enable the runtime invariant checker (TLB shadow walks, "
+        "cache consistency, MAC differential oracle); also settable via "
+        "REPRO_VALIDATE=1",
+    )
+    parser.add_argument(
+        "--campaign",
+        type=str,
+        default=None,
+        metavar="A,B,...",
+        help="comma-separated fault-scenario subset for the campaign "
+        "experiment (default: all scenarios; see repro.faults.inject)",
+    )
     return parser
 
 
@@ -147,6 +162,28 @@ def main(argv: Optional[List[str]] = None) -> int:
         else None
     )
 
+    scenario_subset = None
+    if args.campaign:
+        from repro.faults.inject import ALL_SCENARIOS
+
+        scenario_subset = [
+            name.strip() for name in args.campaign.split(",") if name.strip()
+        ]
+        unknown = sorted(set(scenario_subset) - set(ALL_SCENARIOS))
+        if unknown:
+            parser.error(
+                f"--campaign: unknown scenario(s) {', '.join(unknown)} "
+                f"(choose from {', '.join(ALL_SCENARIOS)})"
+            )
+
+    if args.validate:
+        import os
+
+        from repro.faults.invariants import set_validation
+
+        set_validation(True)
+        os.environ["REPRO_VALIDATE"] = "1"  # propagate to pool workers
+
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     timings = {}
@@ -154,14 +191,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         with execution_policy(policy):
             return _run_experiments(
-                args, cache, names, timings, failures, workload_subset
+                args, cache, names, timings, failures, workload_subset,
+                scenario_subset,
             )
     except KeyboardInterrupt:
         print("interrupted — rerun with --resume", file=sys.stderr)
         return 130
 
 
-def _run_experiments(args, cache, names, timings, failures, workload_subset) -> int:
+def _run_experiments(
+    args, cache, names, timings, failures, workload_subset, scenario_subset=None
+) -> int:
     """The experiment loop; KeyboardInterrupt propagates to main()."""
     for name in names:
         function = EXPERIMENTS[name]
@@ -175,6 +215,10 @@ def _run_experiments(args, cache, names, timings, failures, workload_subset) -> 
             kwargs["cache"] = cache
         if "workloads" in parameters and workload_subset is not None:
             kwargs["workloads"] = workload_subset
+        if "scenarios" in parameters and scenario_subset is not None:
+            kwargs["scenarios"] = scenario_subset
+        if "validate" in parameters and args.validate:
+            kwargs["validate"] = True
         start = time.time()
         try:
             report = function(**kwargs)

@@ -71,6 +71,15 @@ class MemoryController:
         # Coherence listeners: caches that must drop their copy of a line
         # whenever some other agent writes it through this controller.
         self._coherence_listeners: list = []
+        # Optional fault hook fired just before DRAM serves a read —
+        # the window where a disturbance lands after the last scrub but
+        # before the guard inspects the line (repro.faults campaigns).
+        self._read_fault_hook = None
+
+    def install_read_fault_hook(self, hook) -> None:
+        """Install ``hook(address, is_pte)`` called at the top of every
+        read, before DRAM is consulted. Pass ``None`` to remove."""
+        self._read_fault_hook = hook
 
     def attach_coherent_cache(self, cache) -> None:
         """Register an object with a ``discard(address)`` method to be
@@ -138,6 +147,9 @@ class MemoryController:
         if address % CACHELINE_BYTES:
             raise ValueError(f"request address {address:#x} not line-aligned")
         self.stats.increment("pte_reads" if is_pte else "reads")
+        hook = self._read_fault_hook
+        if hook is not None:
+            hook(address, is_pte)
         latency = self.dram.access(address, is_write=False, cycle=cycle)
         stored = self.dram.read_line(address)
         if self.ptguard is None:

@@ -10,7 +10,7 @@ consumer, exactly as in real DRAM.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator
+from typing import Callable, Dict, Iterable, Iterator, List
 
 from repro.common.config import CACHELINE_BYTES
 from repro.common.errors import ConfigurationError
@@ -26,6 +26,7 @@ class PhysicalMemory:
             raise ConfigurationError("memory size must be a positive multiple of 64")
         self.size_bytes = size_bytes
         self._lines: Dict[int, bytes] = {}
+        self._fault_listeners: List[Callable[[int, int], None]] = []
 
     # -- line-granularity access (the DRAM interface) ----------------------
 
@@ -110,6 +111,23 @@ class PhysicalMemory:
         line = bytearray(self.read_line(line_address))
         line[bit_offset // 8] ^= 1 << (bit_offset % 8)
         self.write_line(line_address, bytes(line))
+        for listener in self._fault_listeners:
+            listener(line_address, bit_offset)
+
+    def flip_bits(self, line_address: int, bit_offsets: Iterable[int]) -> None:
+        """Invert several bits of one line (multi-bit fault injection)."""
+        for bit_offset in bit_offsets:
+            self.flip_bit(line_address, bit_offset)
+
+    def attach_fault_listener(
+        self, listener: Callable[[int, int], None]
+    ) -> None:
+        """Observe every flipped bit as ``(line_address, bit_offset)``.
+
+        Used by validators and campaign bookkeeping; listeners must not
+        write memory (they run mid-flip).
+        """
+        self._fault_listeners.append(listener)
 
     # -- introspection -------------------------------------------------------
 

@@ -62,3 +62,12 @@ class MMUCache:
 
     def flush(self) -> None:
         self._sets.clear()
+
+    def entries(self):
+        """Snapshot of ``(entry_address, value)`` pairs (for validators)."""
+        out = []
+        for set_index, entries in self._sets.items():
+            for tag, value in entries.items():
+                entry = tag * self.num_sets + set_index
+                out.append((entry * ENTRY_BYTES, value))
+        return out

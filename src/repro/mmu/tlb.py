@@ -76,6 +76,10 @@ class TLB:
         """Full TLB shootdown."""
         self._entries.clear()
 
+    def entries(self):
+        """Snapshot of ``((asid, vpn), entry)`` pairs (for validators)."""
+        return list(self._entries.items())
+
     def __len__(self) -> int:
         return len(self._entries)
 
@@ -84,3 +88,38 @@ class TLB:
         hits = self.stats.get("hits")
         total = hits + self.stats.get("misses")
         return hits / total if total else 0.0
+
+
+def register_invariants(checker, tlb: TLB, shadow_fn, tampered_fn=None) -> None:
+    """Register the TLB-vs-page-table shadow-walk check.
+
+    ``shadow_fn(asid, vpn)`` must re-derive the translation from live
+    memory without side effects, returning ``(entry_or_None,
+    touched_line_addresses)``. Entries whose shadow walk touches a line in
+    ``tampered_fn()`` (e.g. under an un-scrubbed Rowhammer flip) are
+    skipped — hardware TLBs legitimately shield stale translations until
+    invalidated, and flagging those would punish the very property the
+    attack experiments measure.
+    """
+
+    def check():
+        tampered = tampered_fn() if tampered_fn is not None else frozenset()
+        violations = []
+        for (asid, vpn), entry in tlb.entries():
+            shadow, touched = shadow_fn(asid, vpn)
+            if tampered and not tampered.isdisjoint(touched):
+                continue
+            if shadow is None:
+                violations.append(
+                    f"TLB caches (asid={asid}, vpn={vpn:#x}) -> pfn "
+                    f"{entry.pfn:#x} but the live page tables hold no "
+                    f"present translation"
+                )
+            elif shadow != entry:
+                violations.append(
+                    f"TLB entry (asid={asid}, vpn={vpn:#x}) is {entry} "
+                    f"but a shadow walk of the page tables yields {shadow}"
+                )
+        return violations
+
+    checker.register("tlb_shadow_walk", check)

@@ -175,3 +175,93 @@ class PageWalker:
     def flush_all(self) -> None:
         self.tlb.flush()
         self.mmu_cache.flush()
+
+
+# -- runtime validation (repro.faults.invariants) ------------------------------
+#
+# Shadow walks re-derive translations straight from backing memory —
+# never through the controller/port, whose reads would perturb DRAM
+# open-row state, guard statistics and cache contents mid-measurement.
+
+def _pte_metadata_mask() -> int:
+    from repro.core import pattern
+
+    mac = ((1 << pattern.MAC_BITS_PER_PTE) - 1) << pattern.MAC_FIELD_LOW
+    ident = ((1 << pattern.ID_BITS_PER_PTE) - 1) << pattern.ID_FIELD_LOW
+    return ~(mac | ident) & ((1 << 64) - 1)
+
+
+_STRIP_MASK = None
+
+
+def _stripped_pte(raw: int) -> int:
+    global _STRIP_MASK
+    if _STRIP_MASK is None:
+        _STRIP_MASK = _pte_metadata_mask()
+    return raw & _STRIP_MASK
+
+
+def shadow_tlb_entry(kernel, asid: int, vpn: int):
+    """Side-effect-free re-walk of the live page tables for one VPN.
+
+    Returns ``(TLBEntry_or_None, touched_line_addresses)`` — the lines
+    read let the caller skip translations shadowed by known DRAM tampering
+    (cache/TLB shielding is legitimate, not a simulator bug).
+    """
+    touched = set()
+    process = kernel.processes.get(asid)
+    if process is None:
+        return None, touched
+    memory = kernel.controller.dram.memory
+    virtual_address = vpn * PAGE_BYTES
+    table_pfn = process.page_table.root_pfn
+    decoded = None
+    for level in range(LEVELS):
+        entry_address = (
+            table_pfn * PAGE_BYTES + level_index(virtual_address, level) * PTE_SIZE
+        )
+        touched.add(entry_address & ~(CACHELINE_BYTES - 1))
+        raw = int.from_bytes(memory.read(entry_address, PTE_SIZE), "little")
+        decoded = X86PageTableEntry(_stripped_pte(raw))
+        if not decoded.present:
+            return None, touched
+        table_pfn = decoded.pfn
+    return (
+        TLBEntry(
+            pfn=decoded.pfn,
+            writable=decoded.writable,
+            user_accessible=decoded.user_accessible,
+            no_execute=decoded.no_execute,
+            global_page=decoded.global_page,
+        ),
+        touched,
+    )
+
+
+def register_invariants(checker, walker: PageWalker, kernel, tampered_fn=None) -> None:
+    """Register the MMU (page-walk) cache consistency check.
+
+    Every cached upper-level entry must equal the live in-memory PTE at
+    its physical address — either raw or with the embedded MAC/identifier
+    metadata stripped (the walker caches post-strip values). Entries on
+    lines in ``tampered_fn()`` are skipped (legitimate shielding).
+    """
+    memory = kernel.controller.dram.memory
+
+    def check():
+        tampered = tampered_fn() if tampered_fn is not None else frozenset()
+        violations = []
+        for entry_address, value in walker.mmu_cache.entries():
+            line_address = entry_address & ~(CACHELINE_BYTES - 1)
+            if line_address in tampered:
+                continue
+            raw = int.from_bytes(memory.read(entry_address, PTE_SIZE), "little")
+            if value != raw and value != _stripped_pte(raw):
+                violations.append(
+                    f"MMU cache holds {value:#x} for PTE at {entry_address:#x} "
+                    f"but memory holds {raw:#x} "
+                    f"(stripped {_stripped_pte(raw):#x})"
+                )
+        return violations
+
+    checker.register("mmu_cache_consistency", check)

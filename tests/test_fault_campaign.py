@@ -1,0 +1,192 @@
+"""Tests for fault-injection campaigns and the outcome taxonomy
+(repro.faults.campaign, repro.common.stats.TaxonomyCounter,
+repro.analysis.fault_matrix)."""
+
+from dataclasses import asdict
+
+import pytest
+
+from repro.analysis.fault_matrix import (
+    format_fault_matrix,
+    run_fault_matrix,
+    single_bit_summary,
+)
+from repro.common.stats import TaxonomyCounter
+from repro.faults.campaign import (
+    OUTCOME_CLASSES,
+    SINGLE_BIT_PTE_SCENARIOS,
+    CampaignResult,
+    run_campaign,
+    run_campaign_cell,
+)
+from repro.faults.inject import ALL_SCENARIOS
+from repro.harness.parallel import ResultCache
+
+SEED = 11
+TRIALS = 40
+
+
+# -- taxonomy counter ---------------------------------------------------------
+
+
+class TestTaxonomyCounter:
+    def test_counts_in_declared_order_with_zeros(self):
+        counter = TaxonomyCounter("outcomes", OUTCOME_CLASSES)
+        counter.increment("sim_crash")
+        counter.increment("detected_corrected", 3)
+        assert counter.as_dict() == {
+            "detected_corrected": 3,
+            "detected_uncorrectable": 0,
+            "silent_corruption": 0,
+            "masked_benign": 0,
+            "sim_crash": 1,
+        }
+        assert counter.total() == 4
+
+    def test_unknown_class_rejected(self):
+        counter = TaxonomyCounter("outcomes", ("a", "b"))
+        with pytest.raises(KeyError):
+            counter.increment("c")
+        with pytest.raises(KeyError):
+            counter.get("c")
+
+    def test_duplicate_classes_rejected(self):
+        with pytest.raises(ValueError):
+            TaxonomyCounter("outcomes", ("a", "a"))
+
+
+# -- per-scenario guarantees --------------------------------------------------
+
+
+class TestCellGuarantees:
+    def test_pte_single_all_corrected(self):
+        cell = run_campaign_cell("pte_single", TRIALS, SEED)
+        assert cell.trials == TRIALS
+        assert cell.outcome("detected_corrected") == TRIALS
+        assert cell.outcome("silent_corruption") == 0
+        assert cell.protected_tampered == TRIALS
+        assert cell.corrected_fraction == 1.0
+        # flip-and-check is the step that wins on single data-bit faults
+        assert cell.winning_steps.get("flip_and_check", 0) > 0
+
+    def test_mac_single_all_corrected_by_soft_match(self):
+        cell = run_campaign_cell("mac_single", TRIALS, SEED)
+        assert cell.outcome("detected_corrected") == TRIALS
+        assert cell.outcome("silent_corruption") == 0
+        assert cell.corrected_fraction == 1.0
+        assert cell.winning_steps.get("soft_match", 0) == TRIALS
+        # MAC flips never touch protected content
+        assert cell.protected_tampered == 0
+
+    def test_pte_double_never_silent_sometimes_uncorrectable(self):
+        cell = run_campaign_cell("pte_double", TRIALS, SEED)
+        assert cell.outcome("silent_corruption") == 0
+        assert cell.outcome("sim_crash") == 0
+        assert cell.outcome("detected_uncorrectable") >= 1
+        assert cell.detected == TRIALS
+
+    def test_global_bit_and_field_scenarios_fully_corrected(self):
+        for scenario in ("global_bit", "pfn_only", "flags_only"):
+            cell = run_campaign_cell(scenario, 20, SEED)
+            assert cell.outcome("detected_corrected") == 20, scenario
+            assert cell.corrected_fraction == 1.0, scenario
+
+    def test_data_single_is_silent_by_design(self):
+        cell = run_campaign_cell("data_single", TRIALS, SEED)
+        assert cell.target == "data"
+        assert cell.outcome("silent_corruption") == TRIALS
+        assert cell.detected == 0
+
+    def test_cell_is_deterministic(self):
+        first = run_campaign_cell("uniform", 30, SEED)
+        second = run_campaign_cell("uniform", 30, SEED)
+        assert asdict(first) == asdict(second)
+
+    def test_validate_runs_sweeps(self):
+        cell = run_campaign_cell("pte_single", 33, SEED, validate=True)
+        assert cell.invariant_sweeps >= 2  # every 32 trials + final
+
+    def test_trial_restore_leaves_memory_pristine(self):
+        """Back-to-back cells over the same seed see identical faults —
+        which only holds if every trial restores the pre-fault line."""
+        first = run_campaign_cell("burst", 20, SEED)
+        second = run_campaign_cell("burst", 20, SEED)
+        assert first.outcomes == second.outcomes
+        assert first.bits_injected == second.bits_injected
+
+
+# -- full campaign ------------------------------------------------------------
+
+
+class TestCampaign:
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError):
+            run_campaign(scenarios=["pte_single", "bogus"], trials_per_cell=1)
+
+    def test_small_campaign_histogram_and_cache_replay(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        scenarios = ["pte_single", "data_single"]
+        first = run_campaign(
+            scenarios=scenarios, trials_per_cell=10, seed=SEED,
+            workers=1, cache=cache,
+        )
+        replay = run_campaign(
+            scenarios=scenarios, trials_per_cell=10, seed=SEED,
+            workers=1, cache=ResultCache(tmp_path),
+        )
+        assert [asdict(c) for c in first.cells] == [asdict(c) for c in replay.cells]
+        assert first.histogram()["detected_corrected"] == 10
+        assert first.histogram()["silent_corruption"] == 10
+        assert first.total_trials == 20
+
+    def test_acceptance_scale_campaign(self):
+        """The acceptance-criteria campaign: >= 1000 faults across
+        PTE/MAC/data targets, deterministic histogram, zero silent
+        corruption for single-bit PTE faults, Fig-9-consistent
+        correction for uniform flips."""
+        result = run_campaign(trials_per_cell=120, seed=SEED, workers=1)
+        assert result.total_trials == 120 * len(ALL_SCENARIOS) >= 1000
+        assert {cell.scenario for cell in result.cells} == set(ALL_SCENARIOS)
+        assert result.histogram()["sim_crash"] == 0
+
+        summary = single_bit_summary(result)
+        assert summary["trials"] == 120 * len(SINGLE_BIT_PTE_SCENARIOS)
+        assert summary["silent"] == 0  # detection guarantee (Sec IV-F)
+        assert summary["corrected_fraction"] == 1.0  # correction (Sec VI)
+
+        uniform = result.cell("uniform")
+        # Fig 9 at p_flip = 1/256: most erroneous lines carry a single
+        # flipped bit, so best-effort correction recovers the majority.
+        assert uniform.corrected_fraction >= 0.5
+        assert uniform.outcome("silent_corruption") == 0
+
+        rerun = run_campaign(trials_per_cell=120, seed=SEED, workers=1)
+        assert rerun.histogram() == result.histogram()
+
+
+# -- report -------------------------------------------------------------------
+
+
+class TestFaultMatrixReport:
+    def test_report_contains_matrix_and_guarantee_lines(self):
+        result = run_fault_matrix(
+            scenarios=["pte_single", "uniform", "data_single"],
+            trials_per_cell=12, seed=SEED, workers=1, validate=True,
+        )
+        report = format_fault_matrix(result)
+        assert "Fault-injection campaign" in report
+        assert "pte_single" in report and "uniform" in report
+        assert "detection guarantee: 0" in report
+        assert "0 silent corruptions" in report
+        assert "protection boundary" in report
+        assert "invariant sweeps, all clean" in report
+
+    def test_report_is_deterministic(self):
+        kwargs = dict(scenarios=["pte_single", "mac_single"],
+                      trials_per_cell=8, seed=SEED, workers=1)
+        assert format_fault_matrix(run_fault_matrix(**kwargs)) == \
+            format_fault_matrix(run_fault_matrix(**kwargs))
+
+    def test_histogram_class_order_is_stable(self):
+        result = CampaignResult(cells=[])
+        assert list(result.histogram()) == list(OUTCOME_CLASSES)

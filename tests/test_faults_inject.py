@@ -1,0 +1,261 @@
+"""Tests for the deterministic fault-injection engine (repro.faults.inject)
+and its hook points in memory, DRAM device and memory controller."""
+
+import hashlib
+
+import pytest
+
+from repro.common.config import PTGuardConfig
+from repro.core import pattern
+from repro.faults.inject import (
+    ALL_SCENARIOS,
+    DATA_SCENARIOS,
+    GLOBAL_BIT,
+    LINE_BITS,
+    PTE_SCENARIOS,
+    FaultInjector,
+    FaultSpec,
+    deterministic_choice,
+    deterministic_fraction,
+    garble_payload,
+)
+from repro.harness.chaos import ChaosPolicy
+from repro.harness.system import build_system
+
+PTE_LINES = [0x1000, 0x1040, 0x2000, 0x2040]
+DATA_LINES = [0x9000, 0x9040]
+
+
+# -- decision primitives ------------------------------------------------------
+
+
+class TestDecisionPrimitives:
+    def test_fraction_matches_frozen_digest_format(self):
+        """The digest format is load-bearing (chaos byte-identity)."""
+        digest = hashlib.sha256(b"7:kill:fig6/povray").digest()
+        expected = int.from_bytes(digest[:8], "big") / 2**64
+        assert deterministic_fraction(7, "kill", "fig6/povray") == expected
+
+    def test_chaos_decide_delegates_to_fraction(self):
+        policy = ChaosPolicy(seed=3, kill=0.5)
+        for key in ("a", "b", "fig6/xz", "campaign/pte_single"):
+            expected = deterministic_fraction(3, "kill", key) < 0.5
+            assert policy.decide(key, "kill") is expected
+
+    def test_fraction_in_unit_interval_and_addressed(self):
+        draws = {
+            deterministic_fraction(seed, channel, key)
+            for seed in (0, 1)
+            for channel in ("kill", "corrupt")
+            for key in ("x", "y")
+        }
+        assert len(draws) == 8  # every address yields a distinct draw
+        assert all(0.0 <= d < 1.0 for d in draws)
+
+    def test_choice_range_and_determinism(self):
+        for n in (1, 2, 7, 512):
+            first = deterministic_choice(5, "fault:pte_single:bit", "3", n)
+            again = deterministic_choice(5, "fault:pte_single:bit", "3", n)
+            assert first == again and 0 <= first < n
+
+    def test_choice_rejects_empty_domain(self):
+        with pytest.raises(ValueError):
+            deterministic_choice(1, "c", "k", 0)
+
+    def test_choice_independent_of_fraction(self):
+        """Bytes 8:16 vs 0:8 — same address, independent draws."""
+        fraction = deterministic_fraction(1, "corrupt", "k")
+        choice = deterministic_choice(1, "corrupt", "k", 2**64)
+        assert choice != int(fraction * 2**64)
+
+    def test_garble_payload_frozen_bytes(self):
+        data = b'{"result": 42, "digest": "abc"}'
+        garbled = garble_payload(data)
+        assert garbled == b'{"chaos": "corrupt", ' + data[: len(data) // 2]
+        assert garble_payload(b"x") == b'{"chaos": "corrupt", x'
+
+
+# -- FaultSpec ----------------------------------------------------------------
+
+
+class TestFaultSpec:
+    def test_offsets_must_fit_in_line(self):
+        with pytest.raises(ValueError):
+            FaultSpec("pte_single", 0x1000, (512,), True)
+        with pytest.raises(ValueError):
+            FaultSpec("pte_single", 0x1000, (-1,), True)
+
+    def test_valid_spec_is_frozen(self):
+        spec = FaultSpec("pte_single", 0x1000, (3,), True)
+        with pytest.raises(AttributeError):
+            spec.line_address = 0x2000
+
+
+# -- scenario generators ------------------------------------------------------
+
+
+@pytest.fixture()
+def injector():
+    return FaultInjector(seed=11, max_phys_bits=40)
+
+
+class TestScenarioGenerators:
+    def _specs(self, injector, scenario, trials=32):
+        return [
+            injector.generate(scenario, t, PTE_LINES, DATA_LINES)
+            for t in range(trials)
+        ]
+
+    def test_generation_is_deterministic(self, injector):
+        other = FaultInjector(seed=11, max_phys_bits=40)
+        for scenario in ALL_SCENARIOS:
+            for trial in range(8):
+                assert injector.generate(
+                    scenario, trial, PTE_LINES, DATA_LINES
+                ) == other.generate(scenario, trial, PTE_LINES, DATA_LINES)
+
+    def test_different_seed_different_faults(self):
+        a = FaultInjector(seed=1)
+        b = FaultInjector(seed=2)
+        specs_a = [a.generate("pte_single", t, PTE_LINES, DATA_LINES) for t in range(32)]
+        specs_b = [b.generate("pte_single", t, PTE_LINES, DATA_LINES) for t in range(32)]
+        assert specs_a != specs_b
+
+    def test_pte_single_hits_protected_bits(self, injector):
+        protected = set(pattern.protected_bit_positions(40))
+        for spec in self._specs(injector, "pte_single"):
+            assert spec.is_pte and spec.line_address in PTE_LINES
+            (offset,) = spec.bit_offsets
+            assert offset % 64 in protected
+
+    def test_pte_double_two_distinct_protected_bits(self, injector):
+        protected = set(pattern.protected_bit_positions(40))
+        for spec in self._specs(injector, "pte_double"):
+            first, second = spec.bit_offsets
+            assert first != second
+            assert first % 64 in protected and second % 64 in protected
+
+    def test_mac_single_stays_in_mac_field(self, injector):
+        for spec in self._specs(injector, "mac_single"):
+            (offset,) = spec.bit_offsets
+            assert pattern.MAC_FIELD_LOW <= offset % 64 <= pattern.MAC_FIELD_HIGH
+
+    def test_burst_is_four_adjacent_bits(self, injector):
+        for spec in self._specs(injector, "burst"):
+            offsets = spec.bit_offsets
+            assert len(offsets) == 4
+            assert offsets == tuple(range(offsets[0], offsets[0] + 4))
+
+    def test_global_bit_targets_bit_eight(self, injector):
+        for spec in self._specs(injector, "global_bit"):
+            (offset,) = spec.bit_offsets
+            assert offset % 64 == GLOBAL_BIT
+
+    def test_pfn_only_stays_in_pfn_field(self, injector):
+        for spec in self._specs(injector, "pfn_only"):
+            (offset,) = spec.bit_offsets
+            assert 12 <= offset % 64 < 40
+
+    def test_flags_only_stays_below_pfn(self, injector):
+        protected = set(pattern.protected_bit_positions(40))
+        for spec in self._specs(injector, "flags_only"):
+            (offset,) = spec.bit_offsets
+            assert offset % 64 < 12 and offset % 64 in protected
+
+    def test_uniform_always_injects_at_least_one_bit(self, injector):
+        for spec in self._specs(injector, "uniform", trials=128):
+            assert len(spec.bit_offsets) >= 1
+            assert all(0 <= b < LINE_BITS for b in spec.bit_offsets)
+
+    def test_data_single_targets_data_lines(self, injector):
+        for spec in self._specs(injector, "data_single"):
+            assert not spec.is_pte and spec.line_address in DATA_LINES
+
+    def test_unknown_scenario_rejected(self, injector):
+        with pytest.raises(ValueError):
+            injector.generate("rowhammer", 0, PTE_LINES, DATA_LINES)
+
+    def test_empty_line_pool_rejected(self, injector):
+        with pytest.raises(ValueError):
+            injector.generate("pte_single", 0, [], DATA_LINES)
+
+    def test_scenario_partition(self):
+        assert set(PTE_SCENARIOS) | set(DATA_SCENARIOS) == set(ALL_SCENARIOS)
+        assert not set(PTE_SCENARIOS) & set(DATA_SCENARIOS)
+
+
+# -- hook points --------------------------------------------------------------
+
+
+class TestMemoryHooks:
+    def test_flip_bits_flips_each_offset(self):
+        system = build_system()
+        line = 0x4000
+        system.memory.write_line(line, bytes(range(64)))
+        before = system.memory.read_line(line)
+        system.memory.flip_bits(line, [0, 9, 511])
+        after = system.memory.read_line(line)
+        for bit in range(512):
+            expected = (before[bit // 8] >> (bit % 8)) & 1
+            if bit in (0, 9, 511):
+                expected ^= 1
+            assert (after[bit // 8] >> (bit % 8)) & 1 == expected
+
+    def test_fault_listener_sees_every_flip(self):
+        system = build_system()
+        seen = []
+        system.memory.attach_fault_listener(lambda addr, bit: seen.append((addr, bit)))
+        system.memory.flip_bits(0x4000, [3, 77])
+        system.memory.flip_bit(0x4040, 1)
+        assert seen == [(0x4000, 3), (0x4000, 77), (0x4040, 1)]
+
+
+class TestDeviceInjection:
+    def test_inject_fault_records_flips_and_stats(self):
+        system = build_system()
+        system.memory.write_line(0x4000, b"\xff" * 64)
+        flips = system.dram.inject_fault(0x4000, [0, 100], scenario="test")
+        assert len(flips) == 2
+        assert all(f.distance == 0 for f in flips)
+        assert [f.direction for f in flips] == ["1->0", "1->0"]
+        assert system.dram.stats.get("injected_flips") == 2
+        assert 0x4000 in system.dram.tampered_lines()
+        # the flip is visible in memory and in the device's flip log
+        assert system.memory.read_bit(0x4000, 0) == 0
+        assert any(f.line_address == 0x4000 for f in system.dram.bit_flips)
+
+    def test_inject_fault_direction_tracks_stored_value(self):
+        system = build_system()
+        flips = system.dram.inject_fault(0x4000, [5])  # line starts zeroed
+        assert flips[0].direction == "0->1"
+        assert system.memory.read_bit(0x4000, 5) == 1
+
+    def test_tampered_lines_empty_on_pristine_device(self):
+        assert build_system().dram.tampered_lines() == frozenset()
+
+
+class TestControllerReadFaultHook:
+    def test_hook_fires_before_dram_access(self):
+        system = build_system(ptguard=PTGuardConfig())
+        calls = []
+        system.controller.install_read_fault_hook(
+            lambda address, is_pte: calls.append((address, is_pte))
+        )
+        system.controller.write_access(0x8000, bytes(64))
+        system.controller.read_access(0x8000)
+        assert (0x8000, False) in calls
+
+    def test_hook_can_corrupt_inline_and_guard_detects(self):
+        """A hook flipping a protected PTE bit mid-read must trip the MAC."""
+        config = PTGuardConfig(correction_enabled=True)
+        system = build_system(ptguard=config)
+        line = pattern.join_ptes([(0x2000 + i) << 12 | 0x63 for i in range(8)])
+        system.controller.write_access(0x8000, line)
+
+        def hook(address, is_pte):
+            if is_pte:
+                system.dram.inject_fault(address, [13])
+
+        system.controller.install_read_fault_hook(hook)
+        response = system.controller.read_access(0x8000, is_pte=True)
+        assert response.corrected or response.pte_check_failed

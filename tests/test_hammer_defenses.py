@@ -12,7 +12,7 @@ from repro.attacks.defenses import (
     SoftTRR,
 )
 from repro.attacks.hammer import HammerAttack
-from repro.dram.rowhammer import RowhammerProfile
+from repro.dram.rowhammer import RowhammerModel, RowhammerProfile
 from repro.harness.system import build_system
 
 PROFILE = RowhammerProfile("test", threshold=100, flip_probability=0.05)
@@ -157,6 +157,67 @@ class TestSecWalk:
 
     def test_clean_is_not_detection(self):
         assert not SecWalkChecker().check(42, 42).detected
+
+
+class TestHalfDoubleFactorRegression:
+    """Regression guard for `RowhammerProfile.half_double_factor` units
+    (a disturbance divisor): distance-2-only hammering must be unable to
+    flip without mitigation refreshes."""
+
+    @staticmethod
+    def _model(profile):
+        def neighbors(row_key, distance):
+            bank = row_key[:3]
+            row = row_key[3]
+            return [bank + (row - distance,), bank + (row + distance,)]
+
+        return RowhammerModel(profile, lines_per_row=1, neighbor_fn=neighbors)
+
+    def test_activation_budget_cannot_cross_real_thresholds_at_distance_2(self):
+        """Analytic bound: a whole refresh window of activations, divided
+        by the coupling factor, stays below every real profile's RTH."""
+        for profile in (
+            RowhammerProfile.ddr3_2014(),
+            RowhammerProfile.ddr4_2020(),
+            RowhammerProfile.lpddr4_2020(),
+        ):
+            budget = profile.activation_budget()
+            absorbed = 2 * budget / profile.half_double_factor  # both d-2 rows
+            assert absorbed < profile.threshold, profile.name
+
+    def test_distance_2_only_deposits_coupling_fraction(self):
+        model = self._model(RowhammerProfile.scaled(threshold=600))
+        victim = (0, 0, 0, 100)
+        for _ in range(50_000):
+            model.record_activation((0, 0, 0, 98))
+            model.record_activation((0, 0, 0, 102))
+        # victim absorbed 2 * 50k / 2000 = 50 units: far below RTH 600
+        assert model.disturbance(victim) == pytest.approx(50.0)
+        assert not model.over_threshold(victim)
+        # while the aggressors' *adjacent* rows are deep over threshold
+        # (ordinary distance-1 physics, not Half-Double)
+        assert model.over_threshold((0, 0, 0, 97))
+        assert model.over_threshold((0, 0, 0, 103))
+
+    def test_mitigation_refreshes_drive_the_distance_2_victim_over(self):
+        """The Half-Double mechanism: victim refreshes of the distance-1
+        rows re-activate their wordlines, hammering distance 2 at full
+        (1.0-unit) strength."""
+        model = self._model(RowhammerProfile.scaled(threshold=600))
+        victim = (0, 0, 0, 100)
+        for _ in range(600):
+            model.record_mitigation_refresh((0, 0, 0, 99))
+        assert model.over_threshold(victim)
+        assert model.dominant_distance(victim) == 1  # full-strength deposits
+
+    def test_half_double_attack_flips_nothing_without_a_defense(self):
+        """End-to-end restatement over the device: no mitigation, no
+        victim refreshes, no distance-2 flips (examples/rowhammer_lab.py
+        step 4)."""
+        system, attack = make_attack(mitigation=None)
+        report = attack.half_double(VICTIM, iterations=1500)
+        assert not any(f.row_key == (0, 0, 0, VICTIM) for f in report.flips)
+        assert system.dram.stats.get("mitigation_refreshes") == 0
 
 
 class TestMonotonic:

@@ -1,0 +1,232 @@
+"""Tests for the runtime invariant checker (repro.faults.invariants).
+
+Two properties matter: a healthy simulator passes every sweep clean, and
+each registered check actually *fires* when its component's state is
+corrupted directly (a validator that can't fail validates nothing).
+"""
+
+import pytest
+
+from repro.analysis.correction_eval import workload_process, walked_pte_lines
+from repro.common.config import PAGE_BYTES, PTGuardConfig
+from repro.common.errors import InvariantViolation
+from repro.faults.invariants import (
+    InvariantChecker,
+    attach_validator,
+    set_validation,
+    validation_enabled,
+)
+from repro.harness.system import build_system
+from repro.mmu.tlb import TLBEntry
+
+SEED = 7
+WARM = 32
+
+
+@pytest.fixture(autouse=True)
+def _reset_validation_override():
+    yield
+    set_validation(None)
+
+
+def warmed_system(mac_algorithm="blake2"):
+    system = build_system(
+        ptguard=PTGuardConfig(correction_enabled=True),
+        mac_algorithm=mac_algorithm,
+        seed=SEED,
+    )
+    process = workload_process(system, "povray", SEED)
+    for vpn in sorted(process.frames)[:WARM]:
+        system.kernel.access_virtual(process, vpn * PAGE_BYTES)
+    # The kernel path above fills TLB/MMU-cache; drive a few data lines
+    # through the cache hierarchy too so its consistency check has
+    # resident lines to inspect.
+    for vpn in sorted(process.frames)[:8]:
+        system.hierarchy.read(process.frames[vpn] * PAGE_BYTES)
+    return system, process
+
+
+# -- enable/disable plumbing --------------------------------------------------
+
+
+class TestValidationSwitch:
+    def test_env_controls_default(self, monkeypatch):
+        for falsy in ("", "0", "false", "No", " OFF "):
+            monkeypatch.setenv("REPRO_VALIDATE", falsy)
+            assert not validation_enabled()
+        for truthy in ("1", "true", "yes", "on"):
+            monkeypatch.setenv("REPRO_VALIDATE", truthy)
+            assert validation_enabled()
+        monkeypatch.delenv("REPRO_VALIDATE")
+        assert not validation_enabled()
+
+    def test_override_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VALIDATE", "1")
+        set_validation(False)
+        assert not validation_enabled()
+        set_validation(True)
+        monkeypatch.setenv("REPRO_VALIDATE", "0")
+        assert validation_enabled()
+        set_validation(None)
+        assert not validation_enabled()
+
+
+# -- checker registry ---------------------------------------------------------
+
+
+class TestInvariantChecker:
+    def test_clean_run_counts_sweeps_and_checks(self):
+        checker = InvariantChecker()
+        checker.register("a", lambda: [])
+        checker.register("b", lambda: [])
+        assert checker.run_all() == 2
+        assert checker.stats.get("sweeps") == 1
+        assert checker.stats.get("checks_run") == 2
+        assert checker.stats.get("violations") == 0
+
+    def test_duplicate_name_rejected(self):
+        checker = InvariantChecker()
+        checker.register("a", lambda: [])
+        with pytest.raises(ValueError):
+            checker.register("a", lambda: [])
+
+    def test_violations_aggregate_into_one_error(self):
+        checker = InvariantChecker()
+        checker.register("first", lambda: ["one"])
+        checker.register("second", lambda: ["two", "three"])
+        with pytest.raises(InvariantViolation) as excinfo:
+            checker.run_all(context="unit test")
+        message = str(excinfo.value)
+        assert "3 invariant violation(s)" in message
+        assert "unit test" in message
+        assert "[first] one" in message and "[second] three" in message
+        assert checker.stats.get("violations") == 3
+
+
+# -- clean sweeps on a live system --------------------------------------------
+
+
+class TestCleanSystem:
+    def test_all_checks_registered_and_clean(self):
+        system, _ = warmed_system()
+        checker = attach_validator(system)
+        assert set(checker.names) == {
+            "tlb_shadow_walk",
+            "mmu_cache_consistency",
+            "cache_consistency",
+            "mac_differential_oracle",
+        }
+        assert len(system.kernel.walker.tlb) > 0  # the sweep has substance
+        assert checker.run_all(context="clean") == 4
+
+    def test_sweep_is_side_effect_free(self):
+        system, _ = warmed_system()
+        checker = attach_validator(system)
+        dram_reads = system.dram.stats.get("reads")
+        tlb_hits = system.kernel.walker.tlb.stats.get("hits")
+        checker.run_all()
+        assert system.dram.stats.get("reads") == dram_reads
+        assert system.kernel.walker.tlb.stats.get("hits") == tlb_hits
+
+    def test_qarma_reference_agrees_with_tables(self):
+        system, _ = warmed_system(mac_algorithm="qarma")
+        reference = system.guard.build_reference_mac()
+        fast = system.guard.engine.line_mac
+        for payload in (bytes(64), bytes(range(64))):
+            assert reference.compute(payload, 0x4000) == fast.compute(payload, 0x4000)
+        checker = attach_validator(system)
+        checker.run_all(context="qarma clean")
+
+
+# -- each check must fire on direct state corruption --------------------------
+
+
+class TestChecksFire:
+    def test_tlb_shadow_walk_fires_on_poked_entry(self):
+        system, _ = warmed_system()
+        checker = attach_validator(system)
+        tlb = system.kernel.walker.tlb
+        key, entry = tlb.entries()[0]
+        tlb._entries[key] = TLBEntry(
+            pfn=entry.pfn ^ 1,
+            writable=entry.writable,
+            user_accessible=entry.user_accessible,
+            no_execute=entry.no_execute,
+            global_page=entry.global_page,
+        )
+        with pytest.raises(InvariantViolation, match="tlb_shadow_walk"):
+            checker.run_all()
+
+    def test_mmu_cache_fires_on_poked_value(self):
+        system, _ = warmed_system()
+        checker = attach_validator(system)
+        cache = system.kernel.walker.mmu_cache
+        entry_address, value = cache.entries()[0]
+        cache.insert(entry_address, value ^ (1 << 13))
+        with pytest.raises(InvariantViolation, match="mmu_cache_consistency"):
+            checker.run_all()
+
+    def test_cache_consistency_fires_on_mutated_clean_line(self):
+        system, _ = warmed_system()
+        checker = attach_validator(system)
+        mutated = False
+        for lines in system.hierarchy.l1._sets.values():
+            for line in lines.values():
+                if not line.dirty:
+                    data = bytearray(line.data)
+                    data[0] ^= 0xFF
+                    line.data = bytes(data)
+                    mutated = True
+                    break
+            if mutated:
+                break
+        assert mutated, "expected at least one clean L1 line after warm-up"
+        with pytest.raises(InvariantViolation, match="cache_consistency"):
+            checker.run_all()
+
+    def test_differential_oracle_fires_on_lying_reference(self):
+        system, _ = warmed_system()
+        system.guard.engine.attach_oracle(lambda data, address: -1, sample_period=1)
+        with pytest.raises(InvariantViolation, match="differential oracle"):
+            system.guard.engine.compute(bytes(64), 0)
+
+    def test_run_all_probe_fires_on_lying_reference(self):
+        system, _ = warmed_system()
+        checker = InvariantChecker()
+        from repro.core import engine as _engine
+
+        class Lying:
+            def compute(self, data, address):
+                return -1
+
+        _engine.register_invariants(
+            checker, lambda: system.guard.engine, lambda: Lying()
+        )
+        with pytest.raises(InvariantViolation, match="mac_differential_oracle"):
+            checker.run_all()
+
+
+# -- tolerance of modelled (recorded) DRAM tampering --------------------------
+
+
+class TestTamperTolerance:
+    def test_recorded_fault_does_not_trip_the_validator(self):
+        """Caches/TLBs legitimately shield stale data over a flipped DRAM
+        line — a *recorded* injection must not read as simulator SDC."""
+        system, process = warmed_system()
+        checker = attach_validator(system)
+        target = walked_pte_lines(system, process)[0]
+        system.dram.inject_fault(target, [13], scenario="tamper-tolerance")
+        assert target in system.dram.tampered_lines()
+        checker.run_all(context="after recorded tamper")
+
+    def test_unrecorded_corruption_still_fires(self):
+        """The same flip *without* a record (raw memory poke) is simulator
+        SDC and must fire once a clean cached copy disagrees."""
+        system, process = warmed_system()
+        checker = attach_validator(system)
+        target = walked_pte_lines(system, process)[0]
+        system.memory.flip_bit(target, 13)  # bypasses the device's flip log
+        assert target not in system.dram.tampered_lines()
+        with pytest.raises(InvariantViolation):
+            checker.run_all(context="after raw poke")

@@ -311,6 +311,49 @@ class TestCacheIntegrity:
         assert cache.stats()["io_errors"] == 2
 
 
+# -- quarantine cap -----------------------------------------------------------
+
+
+class TestQuarantineCap:
+    def _quarantine_n(self, cache, count):
+        """Create ``count`` distinct corrupt entries and trip the read
+        path on each, so they all land in the quarantine directory."""
+        for i in range(count):
+            job = _job(value=1000 + i)
+            cache.put(job, i)
+            corrupt_cache_entry(cache, job)
+            assert cache.get(job) is None
+
+    def test_quarantine_stays_bounded_and_evicts_oldest(self, tmp_path, caplog):
+        cache = ResultCache(tmp_path, quarantine_limit=3)
+        with caplog.at_level("WARNING", logger="repro.harness.parallel"):
+            self._quarantine_n(cache, 8)
+        remaining = list(cache.quarantine_dir.glob("*.json"))
+        assert len(remaining) == 3
+        assert cache.quarantine_evictions == 5
+        assert cache.stats()["quarantine_evictions"] == 5
+        assert cache.corrupt == 8  # every corruption still counted
+        # one summary line per eviction batch, naming the env override
+        capped = [r for r in caplog.records if "quarantine at cap" in r.message]
+        assert capped and "REPRO_QUARANTINE_LIMIT" in capped[0].getMessage()
+
+    def test_env_sets_default_limit(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_QUARANTINE_LIMIT", "2")
+        cache = ResultCache(tmp_path)
+        self._quarantine_n(cache, 5)
+        assert len(list(cache.quarantine_dir.glob("*.json"))) == 2
+        assert cache.quarantine_evictions == 3
+
+    def test_nonpositive_limit_disables_the_cap(self, tmp_path):
+        cache = ResultCache(tmp_path, quarantine_limit=0)
+        self._quarantine_n(cache, 6)
+        assert len(list(cache.quarantine_dir.glob("*.json"))) == 6
+        assert cache.quarantine_evictions == 0
+
+    def test_default_cap_is_64(self, tmp_path):
+        assert ResultCache(tmp_path).quarantine_limit == 64
+
+
 # -- journal / resume ---------------------------------------------------------
 
 
