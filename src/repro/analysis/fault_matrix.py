@@ -4,8 +4,9 @@ The paper's Fig 9 measures best-effort correction over uniform per-bit
 PTE flips; the campaign reproduces that regime (the ``uniform`` scenario)
 and extends it to targeted adversarial scenarios — GbHammer-style global
 bits, PFN-only, flags-only, embedded-MAC bits, bursts and unprotected
-data lines — each classified into the five-class outcome taxonomy of
-:mod:`repro.faults.campaign`.
+data lines — each classified into the eight-class outcome taxonomy of
+:mod:`repro.faults.campaign` (recovery classes included when a
+``--recovery-policy`` is attached).
 
 Two guarantees the report states explicitly:
 
@@ -32,6 +33,9 @@ from repro.faults.campaign import (
 _CLASS_HEADERS = {
     "detected_corrected": "corrected",
     "detected_uncorrectable": "uncorrectable",
+    "recovered_reconstructed": "rebuilt",
+    "recovered_retired": "retired",
+    "panic": "panic",
     "silent_corruption": "silent",
     "masked_benign": "benign",
     "sim_crash": "crash",
@@ -101,6 +105,18 @@ def format_fault_matrix(result: CampaignResult) -> str:
             f"{data.trials} silent by design — PT-Guard's protection "
             f"boundary covers page tables only"
         )
+    recovery_cells = [cell for cell in result.cells if cell.recovery_policy]
+    if recovery_cells:
+        recovered = sum(cell.recovered for cell in recovery_cells)
+        panics = sum(cell.outcome("panic") for cell in recovery_cells)
+        retired = sum(cell.rows_retired for cell in recovery_cells)
+        rekeys = sum(cell.adaptive_rekeys for cell in recovery_cells)
+        lines.append(
+            f"recovery (policy={recovery_cells[0].recovery_policy}): "
+            f"availability {result.availability:.6f}, "
+            f"{recovered} recovered, {panics} panics, "
+            f"{retired} rows retired, {rekeys} adaptive rekeys"
+        )
     validated = sum(cell.invariant_sweeps for cell in result.cells)
     if validated:
         lines.append(f"runtime validator: {validated} invariant sweeps, all clean")
@@ -115,6 +131,7 @@ def run_fault_matrix(
     validate: bool = False,
     workers: Optional[int] = None,
     cache=None,
+    recovery: Optional[dict] = None,
 ) -> CampaignResult:
     """Run the campaign behind the fault-matrix report."""
     return run_campaign(
@@ -125,4 +142,5 @@ def run_fault_matrix(
         validate=validate,
         workers=workers,
         cache=cache,
+        recovery=recovery,
     )

@@ -24,7 +24,8 @@ and contributes no latency, matching the paper's model.
 from __future__ import annotations
 
 import random
-from typing import NamedTuple, Optional
+from collections import deque
+from typing import Deque, NamedTuple, Optional
 
 from repro.common.config import PTGuardConfig
 from repro.common.errors import CollisionBufferOverflow
@@ -98,6 +99,14 @@ class PTGuard:
         # Differential-oracle sampling period (None = disarmed). Kept on
         # the guard, not the engine, so re-arming survives rekey().
         self._oracle_period: Optional[int] = None
+        # Adaptive rekeying (Sec VII-B, repro.recovery): sliding window of
+        # integrity-incident ticks; disarmed until arm_adaptive_rekey().
+        self._rekey_threshold: Optional[int] = None
+        self._rekey_window = 0
+        self._rekey_cooldown = 0
+        self._incident_ticks: Deque[int] = deque()
+        self._incident_clock = 0
+        self._last_adaptive_tick: Optional[int] = None
         self.stats = StatGroup("ptguard")
 
     # -- write path ---------------------------------------------------------
@@ -378,6 +387,68 @@ class PTGuard:
                 self.build_reference_mac().compute, self._oracle_period
             )
         self.ctb.clear()
+
+    # -- adaptive rekeying (repro.recovery) -------------------------------------
+
+    def arm_adaptive_rekey(
+        self, threshold: int, window: int, cooldown: int = 0
+    ) -> None:
+        """Arm the incident-rate rekey trigger.
+
+        ``threshold`` incidents inside a sliding window of ``window``
+        incident ticks recommend a rekey; ``cooldown`` ticks must then
+        pass before another adaptive rekey may fire (the storm brake —
+        without it a sustained attack turns the defence itself into a
+        denial of service, one key-sweep per fault).
+        """
+        if threshold < 1 or window < 1 or cooldown < 0:
+            raise ValueError("adaptive rekey parameters out of range")
+        self._rekey_threshold = threshold
+        self._rekey_window = window
+        self._rekey_cooldown = cooldown
+        self._incident_ticks.clear()
+        self._last_adaptive_tick = None
+
+    def disarm_adaptive_rekey(self) -> None:
+        self._rekey_threshold = None
+        self._incident_ticks.clear()
+
+    def record_incident(self) -> bool:
+        """Advance the incident clock by one detected-uncorrectable fault.
+
+        Returns True when the caller should perform an epoch rekey now
+        (window crossed the threshold and the cooldown has expired). The
+        guard only *recommends*: the memory sweep around :meth:`rekey`
+        is the OS's job (:meth:`repro.os.kernel.Kernel.rekey_memory`).
+        """
+        if self._rekey_threshold is None:
+            return False
+        self._incident_clock += 1
+        tick = self._incident_clock
+        ticks = self._incident_ticks
+        ticks.append(tick)
+        floor = tick - self._rekey_window
+        while ticks and ticks[0] <= floor:
+            ticks.popleft()
+        self.stats.increment("incidents")
+        if len(ticks) < self._rekey_threshold:
+            return False
+        if (
+            self._last_adaptive_tick is not None
+            and tick - self._last_adaptive_tick < self._rekey_cooldown
+        ):
+            # Storm: the window is saturated but we just rekeyed. Count
+            # it — a high suppressed count is the rekey-storm signal.
+            self.stats.increment("adaptive_rekeys_suppressed")
+            return False
+        self._last_adaptive_tick = tick
+        ticks.clear()  # the window restarts under the new key
+        self.stats.increment("adaptive_rekey_triggers")
+        return True
+
+    @property
+    def incident_clock(self) -> int:
+        return self._incident_clock
 
     # -- runtime validation (repro.faults.invariants) ---------------------------
 

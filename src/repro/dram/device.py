@@ -80,6 +80,91 @@ class DRAMDevice:
         self._open_rows: Dict[BankKey, int] = {}
         self._flips_log: List[BitFlip] = []
         self._last_refresh_cycle = 0
+        # Row retirement (repro.recovery): spare rows carved off the top
+        # of the address space, and the victim -> spare remap applied to
+        # every controller-side access. Modelled after DRAM post-package
+        # repair: the redirect lives *inside* the device, so disturbance
+        # (Rowhammer physics, injected faults) still lands in the retired
+        # physical cells — which nobody reads any more.
+        self._spare_rows: List[RowKey] = []
+        self._reserved_spare_bytes = 0
+        self._row_remap: Dict[RowKey, RowKey] = {}
+        self._retired_rows: List[RowKey] = []
+
+    # -- row retirement (repro.recovery) --------------------------------------
+
+    def reserve_spare_rows(self, count: int) -> List[RowKey]:
+        """Carve ``count`` spare rows off the top of the address space.
+
+        Returns the reserved row keys. The kernel's allocator must treat
+        the covered pages as off-limits (see ``reserved_spare_pages``);
+        :func:`repro.harness.system.build_system` reserves before the
+        kernel is constructed so the two never disagree.
+        """
+        if count < 0:
+            raise ValueError("spare-row count must be >= 0")
+        reserved: List[RowKey] = []
+        base = self.config.size_bytes - self._reserved_spare_bytes
+        for _ in range(count):
+            base -= self.config.row_bytes
+            if base < 0:
+                raise ValueError("spare-row reservation exceeds DRAM size")
+            reserved.append(self.mapper.row_key_of(base))
+        self._reserved_spare_bytes += count * self.config.row_bytes
+        self._spare_rows.extend(reserved)
+        self.stats.increment("spare_rows_reserved", count)
+        return reserved
+
+    @property
+    def reserved_spare_pages(self) -> int:
+        """Pages the spare-row reservation makes unavailable to the OS."""
+        from repro.common.config import PAGE_BYTES
+
+        return -(-self._reserved_spare_bytes // PAGE_BYTES)
+
+    @property
+    def spare_rows_free(self) -> int:
+        return len(self._spare_rows)
+
+    @property
+    def retired_rows(self) -> List[RowKey]:
+        return list(self._retired_rows)
+
+    def is_retired(self, row_key: RowKey) -> bool:
+        return row_key in self._row_remap
+
+    def remap_address(self, address: int) -> int:
+        """The physical beat an access to ``address`` actually lands on."""
+        if not self._row_remap:
+            return address
+        target = self._row_remap.get(self.mapper.row_key_of(address))
+        if target is None:
+            return address
+        return self.mapper.translate_row(address, target)
+
+    def retire_row(self, row_key: RowKey) -> Optional[RowKey]:
+        """Migrate a victim row to a spare and blacklist the victim.
+
+        The current *backing* row's raw bytes (MACs included — the copy
+        sits below the guard) move beat-for-beat to the spare, then the
+        remap redirects every later access. Returns the spare's row key,
+        or None when the budget is exhausted (the caller's cue to degrade
+        to panic). Retiring an already-retired row re-retires its backing
+        spare — the chained-failure case of a spare that faults too.
+        """
+        if not self._spare_rows:
+            self.stats.increment("retire_budget_exhausted")
+            return None
+        spare = self._spare_rows.pop(0)
+        backing = self._row_remap.get(row_key, row_key)
+        for source in self.mapper.row_addresses(backing):
+            target = self.mapper.translate_row(source, spare)
+            self.memory.write_line(target, self.memory.read_line(source))
+        self._row_remap[row_key] = spare
+        self._retired_rows.append(backing)
+        self._open_rows.pop(row_key[:3], None)  # force re-activation
+        self.stats.increment("rows_retired")
+        return spare
 
     # -- timing + activation path -------------------------------------------
 
@@ -90,6 +175,8 @@ class DRAMDevice:
         Rowhammer model; row hits do not re-activate (the basis of many
         hammering patterns being *activation*-bound, not access-bound).
         """
+        if self._row_remap:
+            address = self.remap_address(address)
         row_key = self.mapper.row_key_of(address)
         bank = row_key[:3]
         row = row_key[3]
@@ -193,6 +280,11 @@ class DRAMDevice:
         style attacks) landing directly in the cells. Flips are materialised
         in backing memory and logged alongside Rowhammer flips with
         ``distance=0`` so forensics and validators can tell them apart.
+
+        The row remap is deliberately *not* applied: disturbance is
+        physics, it hits the named physical cells. After retirement the
+        victim row's cells still take damage — but no access reads them,
+        which is precisely the retirement benefit.
         """
         row_key = self.mapper.row_key_of(line_address)
         flips: List[BitFlip] = []
@@ -219,9 +311,13 @@ class DRAMDevice:
     # -- functional data path (used by the memory controller) -------------------
 
     def read_line(self, address: int) -> bytes:
+        if self._row_remap:
+            address = self.remap_address(address)
         return self.memory.read_line(address)
 
     def write_line(self, address: int, data: bytes) -> None:
+        if self._row_remap:
+            address = self.remap_address(address)
         self.memory.write_line(address, data)
 
     # -- introspection ------------------------------------------------------------

@@ -130,6 +130,16 @@ class AddressMapper:
             for column in range(1 << self._column_bits)
         ]
 
+    def translate_row(self, address: int, target_row_key: tuple[int, int, int, int]) -> int:
+        """Move ``address`` to the same column/offset of another row.
+
+        The row-remap (retirement) path: a retired row's accesses land at
+        the corresponding beat of its spare row.
+        """
+        column = (address >> self._offset_bits) & mask(self._column_bits)
+        offset = address & mask(self._offset_bits)
+        return self.row_base_address(target_row_key, column) | offset
+
     def neighbor_rows(
         self, row_key: tuple[int, int, int, int], distance: int
     ) -> list[tuple[int, int, int, int]]:

@@ -254,9 +254,10 @@ def experiment_campaign(
     cache: Optional[ResultCache] = None,
     scenarios: Optional[Sequence[str]] = None,
     validate: Optional[bool] = None,
+    recovery: Optional[dict] = None,
 ) -> str:
     """Fault-injection campaign: Fig 9's coverage plus the extended
-    scenario matrix under the five-class outcome taxonomy."""
+    scenario matrix under the eight-class outcome taxonomy."""
     from repro.analysis.fault_matrix import format_fault_matrix, run_fault_matrix
     from repro.faults.invariants import validation_enabled
 
@@ -269,8 +270,35 @@ def experiment_campaign(
         validate=validate,
         workers=workers,
         cache=cache,
+        recovery=recovery,
     )
     return format_fault_matrix(result)
+
+
+def experiment_siege(
+    scale: float = 1.0,
+    workers: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+    validate: Optional[bool] = None,
+    recovery: Optional[dict] = None,
+) -> str:
+    """Sustained-attack siege: survival time, availability and the
+    recovery-latency distribution across attack intensities
+    (:mod:`repro.analysis.siege_eval`)."""
+    from repro.analysis.siege_eval import format_siege_report, run_siege
+    from repro.faults.invariants import validation_enabled
+
+    if validate is None:
+        validate = validation_enabled()
+    windows = max(8, int(48 * scale))
+    cells = run_siege(
+        windows=windows,
+        validate=validate,
+        recovery=recovery,
+        workers=workers,
+        cache=cache,
+    )
+    return format_siege_report(cells)
 
 
 def experiment_security_analysis() -> str:
@@ -413,4 +441,5 @@ EXPERIMENTS = {
     "attacks": experiment_attack_matrix,
     "multicore": experiment_multicore,
     "campaign": experiment_campaign,
+    "siege": experiment_siege,
 }

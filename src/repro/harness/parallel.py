@@ -260,6 +260,7 @@ def _run_fault_campaign_cell(params: Mapping[str, Any]):
         workload=params["workload"],
         validate=params.get("validate", False),
         mac_algorithm=params.get("mac_algorithm", "blake2"),
+        recovery=params.get("recovery"),
     )
 
 
@@ -271,6 +272,30 @@ def _decode_campaign_cell(payload):
     from repro.faults.campaign import CampaignCell
 
     return CampaignCell(**payload)
+
+
+def _run_siege_cell(params: Mapping[str, Any]):
+    from repro.analysis.siege_eval import run_siege_cell
+
+    return run_siege_cell(
+        intensity=params["intensity"],
+        faults_per_window=params["faults_per_window"],
+        windows=params["windows"],
+        seed=params["seed"],
+        workload=params["workload"],
+        validate=params.get("validate", False),
+        recovery=params.get("recovery"),
+    )
+
+
+def _encode_siege_cell(cell) -> Dict[str, Any]:
+    return asdict(cell)
+
+
+def _decode_siege_cell(payload):
+    from repro.analysis.siege_eval import SiegeCell
+
+    return SiegeCell(**payload)
 
 
 register_job_kind(
@@ -288,6 +313,12 @@ register_job_kind(
     _run_fault_campaign_cell,
     _encode_campaign_cell,
     _decode_campaign_cell,
+)
+register_job_kind(
+    "siege_cell",
+    _run_siege_cell,
+    _encode_siege_cell,
+    _decode_siege_cell,
 )
 
 

@@ -24,6 +24,7 @@ import argparse
 import inspect
 import json
 import pathlib
+import signal
 import sys
 import time
 from typing import List, Optional
@@ -132,6 +133,30 @@ def _build_parser() -> argparse.ArgumentParser:
         help="comma-separated fault-scenario subset for the campaign "
         "experiment (default: all scenarios; see repro.faults.inject)",
     )
+    parser.add_argument(
+        "--recovery-policy",
+        type=str,
+        default=None,
+        metavar="NAME",
+        help="attack-response policy for campaign/siege: none, "
+        "reconstruct, retire or full (default: campaign runs without "
+        "recovery; siege defaults to full)",
+    )
+    parser.add_argument(
+        "--spare-rows",
+        type=int,
+        default=None,
+        metavar="N",
+        help="override the recovery policy's spare-row retirement budget",
+    )
+    parser.add_argument(
+        "--rekey-threshold",
+        type=int,
+        default=None,
+        metavar="N",
+        help="override the recovery policy's adaptive-rekey incident "
+        "threshold (incidents per sliding window)",
+    )
     return parser
 
 
@@ -161,6 +186,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.workloads
         else None
     )
+    if workload_subset:
+        from repro.cpu.workloads import WORKLOADS_BY_NAME
+
+        unknown = sorted(set(workload_subset) - set(WORKLOADS_BY_NAME))
+        if unknown:
+            parser.error(
+                f"--workloads: unknown workload(s) {', '.join(unknown)} "
+                f"(choose from {', '.join(sorted(WORKLOADS_BY_NAME))})"
+            )
 
     scenario_subset = None
     if args.campaign:
@@ -176,6 +210,30 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"(choose from {', '.join(ALL_SCENARIOS)})"
             )
 
+    recovery_params = None
+    if (
+        args.recovery_policy is not None
+        or args.spare_rows is not None
+        or args.rekey_threshold is not None
+    ):
+        import dataclasses
+
+        from repro.common.errors import ConfigurationError
+        from repro.recovery.policy import recovery_policy
+
+        try:
+            policy_obj = recovery_policy(args.recovery_policy or "full")
+            overrides = {}
+            if args.spare_rows is not None:
+                overrides["spare_rows"] = args.spare_rows
+            if args.rekey_threshold is not None:
+                overrides["rekey_threshold"] = args.rekey_threshold
+            if overrides:
+                policy_obj = dataclasses.replace(policy_obj, **overrides)
+        except ConfigurationError as exc:
+            parser.error(str(exc))
+        recovery_params = policy_obj.as_params()
+
     if args.validate:
         import os
 
@@ -188,19 +246,43 @@ def main(argv: Optional[List[str]] = None) -> int:
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     timings = {}
     failures: List[str] = []
+    # SIGTERM (the polite kill: CI cancellation, systemd stop, OOM killer
+    # on cgroup soft limits) is handled like Ctrl-C: the fabric journal is
+    # already written through as cells finish, so --resume picks up where
+    # the sweep stopped. Exit code is the conventional 128+15.
+    previous_sigterm = None
+    try:
+        previous_sigterm = signal.signal(signal.SIGTERM, _raise_terminated)
+    except ValueError:
+        pass  # not the main thread (embedded use): leave signals alone
     try:
         with execution_policy(policy):
             return _run_experiments(
                 args, cache, names, timings, failures, workload_subset,
-                scenario_subset,
+                scenario_subset, recovery_params,
             )
     except KeyboardInterrupt:
         print("interrupted — rerun with --resume", file=sys.stderr)
         return 130
+    except _Terminated:
+        print("terminated (SIGTERM) — rerun with --resume", file=sys.stderr)
+        return 143
+    finally:
+        if previous_sigterm is not None:
+            signal.signal(signal.SIGTERM, previous_sigterm)
+
+
+class _Terminated(Exception):
+    """SIGTERM arrived; unwound like KeyboardInterrupt, exits 143."""
+
+
+def _raise_terminated(signum, frame):
+    raise _Terminated()
 
 
 def _run_experiments(
-    args, cache, names, timings, failures, workload_subset, scenario_subset=None
+    args, cache, names, timings, failures, workload_subset, scenario_subset=None,
+    recovery_params=None,
 ) -> int:
     """The experiment loop; KeyboardInterrupt propagates to main()."""
     for name in names:
@@ -219,6 +301,8 @@ def _run_experiments(
             kwargs["scenarios"] = scenario_subset
         if "validate" in parameters and args.validate:
             kwargs["validate"] = True
+        if "recovery" in parameters and recovery_params is not None:
+            kwargs["recovery"] = recovery_params
         start = time.time()
         try:
             report = function(**kwargs)

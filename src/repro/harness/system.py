@@ -81,6 +81,7 @@ def build_system(
     rowhammer: Optional[RowhammerProfile] = None,
     mitigation: Optional[MitigationPolicy] = None,
     seed: int = 2023,
+    spare_rows: int = 0,
 ) -> System:
     """Assemble a machine.
 
@@ -99,6 +100,9 @@ def build_system(
         DRAM vulnerability profile; None disables bit flips.
     mitigation:
         Optional in-DRAM mitigation (e.g. TRR) for attack experiments.
+    spare_rows:
+        Rows reserved for retirement (repro.recovery). Reserved *before*
+        the kernel is built so the allocator never hands out their pages.
     """
     config = config if config is not None else SystemConfig()
     guard_config = ptguard if ptguard is not None else config.ptguard
@@ -115,6 +119,8 @@ def build_system(
         if guard_config is not None
         else None
     )
+    if spare_rows:
+        dram.reserve_spare_rows(spare_rows)
     controller = MemoryController(dram, guard)
     hierarchy = CacheHierarchy(config, controller)
     # Hardware coherence: foreign stores (the kernel's port) invalidate

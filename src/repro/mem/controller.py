@@ -171,6 +171,29 @@ class MemoryController:
             guard_outcome=outcome,
         )
 
+    # -- row retirement (repro.recovery) ---------------------------------------
+
+    def retire_row_of(self, address: int):
+        """Retire the DRAM row containing ``address`` to a spare row.
+
+        The controller is the seam the OS talks to (a real deployment
+        would drive post-package repair through controller MMIO): it
+        resolves the victim row, delegates the migration + remap to the
+        device, and broadcasts invalidations for the row's lines so no
+        cache serves a stale copy across the switch. Returns the spare
+        row key, or None when the spare budget is exhausted.
+        """
+        row_key = self.dram.mapper.row_key_of(address)
+        spare = self.dram.retire_row(row_key)
+        if spare is None:
+            self.stats.increment("row_retirements_exhausted")
+            return None
+        for line_address in self.dram.mapper.row_addresses(row_key):
+            for cache in self._coherence_listeners:
+                cache.discard(line_address)
+        self.stats.increment("row_retirements")
+        return spare
+
     # -- convenience functional helpers (used by the OS substrate) -----------------
 
     def read_line(self, address: int, is_pte: bool = False) -> MemoryResponse:

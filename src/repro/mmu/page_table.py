@@ -74,6 +74,7 @@ class PageTable:
         port: PhysicalPort,
         root_pfn: int,
         allocate_table_page: Callable[[], int],
+        on_entry_written: Optional[Callable[[int, int, int, int], None]] = None,
     ):
         self.port = port
         self.root_pfn = root_pfn
@@ -83,6 +84,17 @@ class PageTable:
         # Valid because this object is the only mutator of its tables and
         # intermediate tables are never torn down before the process dies.
         self._table_cache: Dict[tuple, int] = {}
+        # Shadow hook: called as (entry_address, value, level, va) on
+        # every PTE store, so the kernel's reverse map sees intermediate
+        # levels too, not just the leaves (repro.recovery.shadow).
+        self._on_entry_written = on_entry_written
+
+    def _store_entry(
+        self, entry_address: int, value: int, level: int, virtual_address: int
+    ) -> None:
+        self.port.write_u64(entry_address, value)
+        if self._on_entry_written is not None:
+            self._on_entry_written(entry_address, value, level, virtual_address)
 
     # -- mapping --------------------------------------------------------------
 
@@ -112,15 +124,18 @@ class PageTable:
                 new_pfn = self._allocate_table_page()
                 self.table_pfns.append(new_pfn)
                 # Intermediate entries are kernel-writable, user-visible.
-                self.port.write_u64(
-                    entry_address, make_x86_pte(new_pfn, writable=True, user=True)
+                self._store_entry(
+                    entry_address,
+                    make_x86_pte(new_pfn, writable=True, user=True),
+                    level,
+                    virtual_address,
                 )
                 table_pfn = new_pfn
             else:
                 table_pfn = decoded.pfn
             self._table_cache[prefix] = table_pfn
         leaf_address = table_pfn * PAGE_BYTES + level_index(virtual_address, LEVELS - 1) * PTE_SIZE
-        self.port.write_u64(
+        self._store_entry(
             leaf_address,
             make_x86_pte(
                 pfn,
@@ -129,6 +144,8 @@ class PageTable:
                 no_execute=no_execute,
                 protection_key=protection_key,
             ),
+            LEVELS - 1,
+            virtual_address,
         )
 
     def unmap(self, virtual_address: int) -> bool:
@@ -137,7 +154,7 @@ class PageTable:
         if steps is None:
             return False
         leaf = steps[-1]
-        self.port.write_u64(leaf.entry_address, 0)
+        self._store_entry(leaf.entry_address, 0, LEVELS - 1, virtual_address)
         return True
 
     # -- software walks (the OS's own view, not the hardware walker) -----------

@@ -26,10 +26,12 @@ from repro.common.config import CACHELINE_BYTES, PAGE_BYTES, SystemConfig
 from repro.common.errors import AllocationError, PageFaultError
 from repro.common.stats import StatGroup
 from repro.mem.controller import MemoryController
-from repro.mmu.page_table import PageTable
+from repro.mmu.page_table import LEVELS, PageTable
+from repro.mmu.pte import X86PageTableEntry, make_x86_pte
 from repro.mmu.walker import ControllerPort, PageWalker, PTEIntegrityException
 from repro.os.allocator import BuddyAllocator
 from repro.os.process import VMA, Process
+from repro.recovery.shadow import ShadowEntry, ShadowMap
 
 KERNEL_RESERVED_PAGES = 256  # first 1 MB: "kernel image + boot structures"
 
@@ -107,14 +109,21 @@ class Kernel:
         self.config = config if config is not None else SystemConfig()
         self.port = ControllerPhysicalPort(controller)
         total_pages = self.controller.dram.config.size_bytes // PAGE_BYTES
+        # Spare rows reserved for retirement sit at the top of the address
+        # space; the allocator must never hand those pages out.
+        spare_pages = self.controller.dram.reserved_spare_pages
         self.allocator = BuddyAllocator(
             base_pfn=KERNEL_RESERVED_PAGES,
-            num_pages=total_pages - KERNEL_RESERVED_PAGES,
+            num_pages=total_pages - KERNEL_RESERVED_PAGES - spare_pages,
         )
+        # Shadow reverse map: every PTE store any process's page table
+        # makes is mirrored here (repro.recovery reconstruction source).
+        self.shadow = ShadowMap()
         self.processes: Dict[int, Process] = {}
         self.incidents: List[IntegrityIncident] = []
         self.walker = PageWalker(ControllerPort(controller))
         self.stats = StatGroup("kernel")
+        self.last_rekey_cycles = 0
         self._next_pid = 1
 
     # -- frame management -------------------------------------------------------
@@ -145,12 +154,39 @@ class Kernel:
         pid = self._next_pid
         self._next_pid += 1
         page_table = PageTable(
-            self.port, root_pfn, allocate_table_page=self.allocate_table_page
+            self.port,
+            root_pfn,
+            allocate_table_page=self.allocate_table_page,
+            on_entry_written=self._shadow_writer(pid),
         )
         process = Process(pid=pid, name=name, page_table=page_table)
         self.processes[pid] = process
         self.stats.increment("processes_created")
         return process
+
+    def _shadow_writer(self, pid: int):
+        """Per-process page-table store hook feeding the shadow map."""
+        shadow = self.shadow
+
+        def on_entry_written(
+            entry_address: int, value: int, level: int, virtual_address: int
+        ) -> None:
+            if value == 0:
+                shadow.forget(entry_address)
+                return
+            leaf = level == LEVELS - 1
+            shadow.record(
+                ShadowEntry(
+                    pid=pid,
+                    level=level,
+                    entry_address=entry_address,
+                    value=value,
+                    virtual_address=virtual_address if leaf else None,
+                    pfn=X86PageTableEntry(value).pfn if leaf else None,
+                )
+            )
+
+        return on_entry_written
 
     def destroy_process(self, process: Process) -> None:
         """Free every frame and table page the process owns."""
@@ -158,6 +194,7 @@ class Kernel:
             self.allocator.free_pages(pfn)
         for table_pfn in process.page_table.table_pfns:
             self.allocator.free_pages(table_pfn)
+        self.shadow.forget_pid(process.pid)
         self.processes.pop(process.pid, None)
         self.walker.tlb.invalidate_asid(process.asid)
         # The walk cache keys entries by physical address; the freed table
@@ -283,6 +320,76 @@ class Kernel:
             cursor += take
             view = view[take:]
 
+    # -- PTE-line reconstruction (repro.recovery) -----------------------------------------
+
+    def reconstruct_pte_line(self, line_address: int) -> tuple[bool, int]:
+        """Rebuild a corrupted page-table cacheline from the shadow map.
+
+        Each of the 8 PTE slots is rebuilt from its :class:`ShadowEntry`;
+        slots with no shadow become not-present (zero). Leaf slots are
+        cross-checked against the owning process's ``frames`` map (the
+        authoritative allocation record): a disagreeing PFN is repaired
+        from ``frames`` keeping the shadow's permission bits, a mapping
+        that no longer exists (or whose owner died) is dropped. The
+        rebuilt line is written through the controller — the guard embeds
+        a fresh MAC — then re-verified through the real isPTE read path.
+
+        Returns ``(ok, cycles)``: whether the line now passes its
+        integrity check, and the controller cycles the repair consumed.
+        """
+        base = line_address & ~(CACHELINE_BYTES - 1)
+        line = bytearray(CACHELINE_BYTES)
+        covered = False
+        for slot in range(CACHELINE_BYTES // 8):
+            entry_address = base + slot * 8
+            entry = self.shadow.lookup(entry_address)
+            if entry is None:
+                continue
+            owner = self.processes.get(entry.pid)
+            if owner is None:
+                # Shadow outlived its process: stale, rebuild as hole.
+                self.shadow.forget(entry_address)
+                self.stats.increment("stale_shadow_drops")
+                continue
+            value = entry.value
+            if entry.is_leaf:
+                authoritative = owner.frames.get(entry.vpn)
+                if authoritative is None:
+                    # The mapping is gone (unmapped frame): drop the slot.
+                    self.shadow.forget(entry_address)
+                    self.stats.increment("stale_shadow_drops")
+                    continue
+                decoded = X86PageTableEntry(value)
+                if decoded.pfn != authoritative:
+                    # Stale shadow value: repair from the frames map,
+                    # keeping the recorded permission bits.
+                    value = make_x86_pte(
+                        authoritative,
+                        writable=decoded.writable,
+                        user=decoded.user_accessible,
+                        no_execute=decoded.no_execute,
+                        protection_key=decoded.protection_key,
+                    )
+                    entry.value = value
+                    entry.pfn = authoritative
+                    self.stats.increment("stale_shadow_repairs")
+            line[slot * 8 : slot * 8 + 8] = value.to_bytes(8, "little")
+            covered = True
+        if not covered:
+            self.stats.increment("reconstruction_misses")
+            return False, 0
+        write_response = self.controller.write_line(base, bytes(line))
+        verify_response = self.controller.read_line(base, is_pte=True)
+        cycles = write_response.latency_cycles + verify_response.latency_cycles
+        if verify_response.pte_check_failed:
+            self.stats.increment("reconstruction_failures")
+            return False, cycles
+        # Translations derived from the corrupt line must not survive.
+        self.walker.tlb.flush()
+        self.walker.mmu_cache.flush()
+        self.stats.increment("pte_lines_reconstructed")
+        return True, cycles
+
     # -- PT-Guard maintenance hooks -------------------------------------------------------
 
     def handle_ctb_overflow(self, overflow_address: int) -> None:
@@ -303,14 +410,20 @@ class Kernel:
         """
         guard = self.controller.ptguard
         if guard is None:
+            self.last_rekey_cycles = 0
             return 0
+        cycles = 0
         memory = self.controller.dram.memory
         logical: Dict[int, bytes] = {}
         for line_address in list(memory.touched_lines()):
             response = self.controller.read_line(line_address)
             logical[line_address] = response.data
+            cycles += response.latency_cycles
         guard.rekey()
         for line_address, data in logical.items():
-            self.controller.write_line(line_address, data)
+            cycles += self.controller.write_line(line_address, data).latency_cycles
         self.stats.increment("rekeys")
+        # Controller cycles the sweep cost (read-old-key + write-new-key);
+        # recovery accounting reads this right after triggering a rekey.
+        self.last_rekey_cycles = cycles
         return len(logical)

@@ -1,0 +1,38 @@
+"""Attack response & graceful degradation (paper Sec VI discussion).
+
+Detected-but-uncorrectable PTE faults need not be fatal: the OS can treat
+them like a crash-consistency event and rebuild the mapping from its own
+bookkeeping, the memory system can retire a row that keeps faulting, and
+the guard can rotate its MAC key when incident pressure says the key (or
+the module) is under sustained attack.
+
+This package turns that response into a deterministic, policy-driven
+state machine:
+
+* :class:`~repro.recovery.policy.RecoveryPolicy` — the knobs (which
+  stages are enabled, spare-row budget, retire/rekey thresholds) and the
+  named presets the CLI exposes (``--recovery-policy``).
+* :class:`~repro.recovery.shadow.ShadowMap` — the kernel's shadow
+  reverse map: for every PTE store, who owns it and what it should say.
+* :class:`~repro.recovery.manager.RecoveryManager` — the state machine
+  itself: reconstruct → retire → rekey → panic, with availability and
+  latency accounting for the siege experiments.
+"""
+
+from repro.recovery.policy import (
+    RECOVERY_POLICIES,
+    RecoveryPolicy,
+    recovery_policy,
+)
+from repro.recovery.shadow import ShadowEntry, ShadowMap
+from repro.recovery.manager import RecoveryEvent, RecoveryManager
+
+__all__ = [
+    "RECOVERY_POLICIES",
+    "RecoveryPolicy",
+    "recovery_policy",
+    "ShadowEntry",
+    "ShadowMap",
+    "RecoveryEvent",
+    "RecoveryManager",
+]

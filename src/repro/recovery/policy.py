@@ -1,0 +1,110 @@
+"""Recovery policy: which degraded modes are allowed, and their budgets.
+
+A :class:`RecoveryPolicy` is a plain frozen dataclass so it can ride in
+fabric job params (JSON round-trip via :meth:`RecoveryPolicy.as_params` /
+:func:`policy_from_params`) and keep campaign cells content-addressed.
+
+Stages run strictly in order; each one is individually gateable:
+
+1. **reconstruct** — rebuild the corrupted page-table cacheline from the
+   kernel's shadow reverse map, re-MAC it through the real controller
+   write path and re-verify through the real read path.
+2. **retire** — once one DRAM row has produced ``retire_threshold``
+   uncorrectable faults, migrate its contents to a spare row and
+   blacklist the victim (budget: ``spare_rows``).
+3. **rekey** — when the incident rate inside a sliding window crosses
+   ``rekey_threshold``, rotate the MAC key epoch (Sec VII-B sweep).
+4. **panic** — nothing left: the fault is terminal after all (the
+   bounded-spare / stale-shadow fallback the availability report counts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, Mapping, Optional
+
+from repro.common.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """Knobs of the attack-response state machine.
+
+    ``trap_overhead_cycles`` models the OS exception-delivery and
+    handler-dispatch cost charged to every recovery attempt (successful
+    or not); stage work on top of it is accounted from the *actual*
+    latencies of the controller operations the stage performs, so the
+    recovery-latency distribution is as real as the rest of the timing
+    model.
+    """
+
+    name: str = "full"
+    reconstruct_enabled: bool = True
+    retire_enabled: bool = True
+    rekey_enabled: bool = True
+    #: uncorrectable faults one row may produce before it is retired
+    retire_threshold: int = 2
+    #: spare-row budget (rows carved off the top of DRAM at attach time)
+    spare_rows: int = 8
+    #: incidents inside the sliding window that trigger an epoch rekey
+    rekey_threshold: int = 16
+    #: sliding-window width, in incident ticks (monotonic event counter)
+    rekey_window: int = 64
+    #: minimum ticks between two adaptive rekeys (storm brake)
+    rekey_cooldown: int = 32
+    #: OS trap + handler dispatch cost charged per recovery attempt
+    trap_overhead_cycles: int = 5000
+
+    def __post_init__(self) -> None:
+        if self.retire_threshold < 1:
+            raise ConfigurationError("retire_threshold must be >= 1")
+        if self.spare_rows < 0:
+            raise ConfigurationError("spare_rows must be >= 0")
+        if self.rekey_threshold < 1:
+            raise ConfigurationError("rekey_threshold must be >= 1")
+        if self.rekey_window < 1:
+            raise ConfigurationError("rekey_window must be >= 1")
+        if self.rekey_cooldown < 0:
+            raise ConfigurationError("rekey_cooldown must be >= 0")
+        if self.trap_overhead_cycles < 0:
+            raise ConfigurationError("trap_overhead_cycles must be >= 0")
+
+    def as_params(self) -> Dict[str, Any]:
+        """JSON-able form for fabric job params (content-addressed)."""
+        return asdict(self)
+
+
+#: Named presets the CLI exposes via ``--recovery-policy``.
+RECOVERY_POLICIES: Dict[str, RecoveryPolicy] = {
+    # The seed behaviour: every uncorrectable fault is terminal.
+    "none": RecoveryPolicy(
+        name="none",
+        reconstruct_enabled=False,
+        retire_enabled=False,
+        rekey_enabled=False,
+    ),
+    # Rebuild mappings but never touch DRAM topology or the key.
+    "reconstruct": RecoveryPolicy(
+        name="reconstruct", retire_enabled=False, rekey_enabled=False
+    ),
+    # Rebuild + row retirement, no adaptive rekey.
+    "retire": RecoveryPolicy(name="retire", rekey_enabled=False),
+    # Everything on (the default).
+    "full": RecoveryPolicy(name="full"),
+}
+
+
+def recovery_policy(name: str) -> RecoveryPolicy:
+    """Look up a preset by name with a one-line error listing valid names."""
+    try:
+        return RECOVERY_POLICIES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown recovery policy {name!r}; "
+            f"available: {', '.join(sorted(RECOVERY_POLICIES))}"
+        ) from None
+
+
+def policy_from_params(params: Optional[Mapping[str, Any]]) -> Optional[RecoveryPolicy]:
+    """Inverse of :meth:`RecoveryPolicy.as_params` (None passes through)."""
+    return None if params is None else RecoveryPolicy(**params)

@@ -1,0 +1,98 @@
+"""The kernel's shadow reverse map: what every PTE store *should* say.
+
+Real kernels already hold the information a corrupted page-table line
+encodes — ``struct page``/rmap tell them which process and VA own each
+frame, and the VMA tree holds the permissions. PT-Guard's paper (Sec VI)
+leans on exactly that: a detected-uncorrectable PTE fault can be treated
+like a crash-consistency event and the mapping rebuilt from OS state.
+
+:class:`ShadowMap` is that bookkeeping, reduced to the simulator's needs:
+one :class:`ShadowEntry` per PTE physical address, recorded at the moment
+the kernel writes the entry (the page-table code calls back on every
+store, so intermediate levels are covered too — not just leaves).
+
+Reconstruction cross-checks leaf entries against the owning process's
+``frames`` map (``vpn -> pfn``), the authoritative allocation record: a
+shadow entry that disagrees is *stale* — repaired from ``frames`` when
+possible, dropped (slot rebuilt as not-present) when the mapping is
+gone. The counters make that visible rather than silent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional
+
+from repro.common.config import CACHELINE_BYTES, PTE_BYTES
+from repro.common.stats import StatGroup
+
+
+@dataclass
+class ShadowEntry:
+    """One recorded PTE store: owner, location and the value written."""
+
+    pid: int
+    level: int  # 0 = PML4 ... 3 = PT (leaf)
+    entry_address: int  # physical address of the 8-byte entry
+    value: int  # raw 64-bit PTE value the kernel wrote
+    virtual_address: Optional[int] = None  # leaf entries: the mapped VA
+    pfn: Optional[int] = None  # leaf entries: the mapped frame
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.level == 3
+
+    @property
+    def vpn(self) -> Optional[int]:
+        if self.virtual_address is None:
+            return None
+        return self.virtual_address >> 12
+
+
+class ShadowMap:
+    """PTE-address-keyed record of every page-table store the kernel made."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[int, ShadowEntry] = {}
+        self.stats = StatGroup("shadow_map")
+
+    def record(self, entry: ShadowEntry) -> None:
+        """Record (or overwrite) the shadow of one PTE store."""
+        self._entries[entry.entry_address] = entry
+        self.stats.increment("records")
+
+    def forget(self, entry_address: int) -> None:
+        """Drop the shadow of a cleared entry (unmap wrote zero)."""
+        if self._entries.pop(entry_address, None) is not None:
+            self.stats.increment("forgets")
+
+    def forget_pid(self, pid: int) -> int:
+        """Drop every entry a dying process owned; returns the count."""
+        doomed = [
+            address
+            for address, entry in self._entries.items()
+            if entry.pid == pid
+        ]
+        for address in doomed:
+            del self._entries[address]
+        if doomed:
+            self.stats.increment("forgets", len(doomed))
+        return len(doomed)
+
+    def lookup(self, entry_address: int) -> Optional[ShadowEntry]:
+        return self._entries.get(entry_address)
+
+    def entries_in_line(self, line_address: int) -> Iterator[ShadowEntry]:
+        """Shadow entries for the 8 PTE slots of one cacheline."""
+        base = line_address & ~(CACHELINE_BYTES - 1)
+        for slot in range(CACHELINE_BYTES // PTE_BYTES):
+            entry = self._entries.get(base + slot * PTE_BYTES)
+            if entry is not None:
+                yield entry
+
+    def covers_line(self, line_address: int) -> bool:
+        """True when at least one slot of the line has a shadow entry."""
+        return any(True for _ in self.entries_in_line(line_address))
+
+    def __len__(self) -> int:
+        return len(self._entries)

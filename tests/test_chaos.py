@@ -181,3 +181,71 @@ class TestSigkillResume:
         final = completions[0]
         assert final["cached"] == done_before
         assert final["fresh"] == 6 - done_before
+
+
+class TestSigtermResume:
+    """SIGTERM (CI cancellation, systemd stop) is the polite kill: the
+    runner must flush what it has, exit 128+15 with a --resume hint, and
+    a resumed run must reproduce the uninterrupted report byte-for-byte."""
+
+    def test_sigterm_midsweep_exits_143_then_resume_is_byte_identical(
+        self, tmp_path
+    ):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src"
+        env.pop("REPRO_CHAOS", None)
+        cache_dir = tmp_path / "cache"
+        reference_dir = tmp_path / "reference"
+
+        victim = subprocess.Popen(
+            _runner(["--cache-dir", str(cache_dir)], env),
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                if _entries(cache_dir):
+                    break  # first cell landed on disk — strike now
+                if victim.poll() is not None:
+                    pytest.fail("sweep finished before it could be killed")
+                time.sleep(0.01)
+            else:
+                pytest.fail("no cache entry appeared within 60s")
+            victim.send_signal(signal.SIGTERM)
+            _, stderr = victim.communicate(timeout=60)
+        finally:
+            if victim.poll() is None:
+                victim.kill()
+                victim.wait(timeout=30)
+
+        # Unlike SIGKILL's -9, SIGTERM is *handled*: a clean exit code in
+        # the 128+signal convention plus an actionable one-line hint.
+        assert victim.returncode == 143, stderr
+        assert "terminated (SIGTERM)" in stderr
+        assert "rerun with --resume" in stderr
+        assert "Traceback" not in stderr
+
+        done_before = len(_entries(cache_dir))
+        assert done_before >= 1  # the journal kept what was finished
+
+        resumed = subprocess.run(
+            _runner(["--cache-dir", str(cache_dir), "--resume"], env),
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert resumed.returncode == 0, resumed.stderr
+
+        reference = subprocess.run(
+            _runner(["--cache-dir", str(reference_dir)], env),
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert reference.returncode == 0, reference.stderr
+        assert _strip_volatile(resumed.stdout) == _strip_volatile(reference.stdout)

@@ -144,3 +144,79 @@ class TestCLIResilienceFlags:
         captured = capsys.readouterr()
         assert "rerun with --resume" in captured.err
         assert "Traceback" not in captured.err
+
+
+class TestCLIInputValidation:
+    """Unknown names fail fast: exit code 2 and a one-line message that
+    lists the valid choices (argparse ``parser.error`` semantics)."""
+
+    def _error_line(self, capsys):
+        err = capsys.readouterr().err
+        message = [line for line in err.splitlines() if "error:" in line]
+        assert len(message) == 1, err
+        return message[0]
+
+    def test_unknown_workload_lists_valid_names(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fig6", "--workloads", "povray,warez"])
+        assert excinfo.value.code == 2
+        line = self._error_line(capsys)
+        assert "unknown workload(s) warez" in line
+        assert "choose from" in line and "povray" in line
+
+    def test_unknown_campaign_scenario_lists_valid_names(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["campaign", "--campaign", "pte_single,frobnicate"])
+        assert excinfo.value.code == 2
+        line = self._error_line(capsys)
+        assert "unknown scenario(s) frobnicate" in line
+        assert "choose from" in line and "pte_single" in line
+
+    def test_unknown_recovery_policy_lists_valid_names(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["campaign", "--recovery-policy", "yolo"])
+        assert excinfo.value.code == 2
+        line = self._error_line(capsys)
+        assert "unknown recovery policy" in line
+        for name in ("none", "reconstruct", "retire", "full"):
+            assert name in line
+
+    def test_invalid_recovery_override_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["campaign", "--spare-rows", "-1"])
+        assert excinfo.value.code == 2
+        assert "spare_rows must be >= 0" in self._error_line(capsys)
+
+    def test_unknown_experiment_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["frobnicate"])
+        assert excinfo.value.code == 2
+        assert "invalid choice" in self._error_line(capsys)
+
+
+class TestSiegeCLI:
+    def test_siege_experiment_runs_and_reports(self, capsys):
+        assert main(["siege", "--scale", "0.2", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "Siege: availability under sustained Rowhammer" in out
+        assert "zero-silent-corruption guarantee holds" in out
+        assert "[siege:" in out
+
+    def test_recovery_flags_reach_the_campaign(self, capsys, monkeypatch):
+        from repro.harness.experiments import EXPERIMENTS
+
+        seen = {}
+
+        def probe(recovery=None, **kwargs):
+            seen["recovery"] = recovery
+            return "probe report"
+
+        monkeypatch.setitem(EXPERIMENTS, "campaign", probe)
+        assert main(
+            ["campaign", "--recovery-policy", "retire", "--spare-rows", "3",
+             "--rekey-threshold", "9", "--no-cache"]
+        ) == 0
+        recovery = seen["recovery"]
+        assert recovery["name"] == "retire"
+        assert recovery["spare_rows"] == 3
+        assert recovery["rekey_threshold"] == 9

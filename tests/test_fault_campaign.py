@@ -37,6 +37,9 @@ class TestTaxonomyCounter:
         assert counter.as_dict() == {
             "detected_corrected": 3,
             "detected_uncorrectable": 0,
+            "recovered_reconstructed": 0,
+            "recovered_retired": 0,
+            "panic": 0,
             "silent_corruption": 0,
             "masked_benign": 0,
             "sim_crash": 1,

@@ -1,0 +1,372 @@
+"""Tests for the attack-response layer (repro.recovery): policies, the
+shadow reverse map, PTE-line reconstruction, row retirement, adaptive
+rekeying, and the availability accounting the campaign/siege report."""
+
+from dataclasses import asdict
+
+import pytest
+
+from repro.analysis.correction_eval import walked_pte_lines, workload_process
+from repro.analysis.siege_eval import run_siege_cell
+from repro.common.config import PAGE_BYTES, PTGuardConfig
+from repro.common.errors import ConfigurationError
+from repro.faults.campaign import run_campaign_cell
+from repro.harness.system import build_system
+from repro.mmu.pte import X86PageTableEntry, make_x86_pte
+from repro.recovery import (
+    RECOVERY_POLICIES,
+    RecoveryManager,
+    RecoveryPolicy,
+    ShadowEntry,
+    ShadowMap,
+    recovery_policy,
+)
+from repro.recovery.policy import policy_from_params
+
+SEED = 7
+
+#: Eight spread bit flips — beyond every best-effort correction step.
+UNCORRECTABLE_BITS = [1, 2, 5, 9, 17, 33, 65, 129]
+
+
+def _guarded_system(spare_rows=0, warm=32):
+    """A guard-enabled machine with a warmed workload process."""
+    config = PTGuardConfig(correction_enabled=True)
+    system = build_system(ptguard=config, seed=SEED, spare_rows=spare_rows)
+    process = workload_process(system, "povray", SEED)
+    for vpn in sorted(process.frames)[:warm]:
+        system.kernel.access_virtual(process, vpn * PAGE_BYTES)
+    lines = walked_pte_lines(system, process)
+    return system, process, lines
+
+
+def _corrupt(system, line_address):
+    """Drive an uncorrectable fault into a PTE line, verified detected."""
+    system.dram.inject_fault(line_address, UNCORRECTABLE_BITS, scenario="test")
+    response = system.controller.read_access(line_address, is_pte=True)
+    assert response.pte_check_failed and not response.corrected
+    return response
+
+
+# -- policy -------------------------------------------------------------------
+
+
+class TestRecoveryPolicy:
+    def test_presets_gate_stages(self):
+        assert set(RECOVERY_POLICIES) == {"none", "reconstruct", "retire", "full"}
+        none = RECOVERY_POLICIES["none"]
+        assert not (none.reconstruct_enabled or none.retire_enabled
+                    or none.rekey_enabled)
+        assert RECOVERY_POLICIES["reconstruct"].reconstruct_enabled
+        assert not RECOVERY_POLICIES["reconstruct"].retire_enabled
+        assert RECOVERY_POLICIES["retire"].retire_enabled
+        assert not RECOVERY_POLICIES["retire"].rekey_enabled
+        full = RECOVERY_POLICIES["full"]
+        assert full.reconstruct_enabled and full.retire_enabled \
+            and full.rekey_enabled
+
+    def test_unknown_name_lists_valid_names_in_one_line(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            recovery_policy("bogus")
+        message = str(excinfo.value)
+        assert "\n" not in message
+        assert "bogus" in message
+        for name in RECOVERY_POLICIES:
+            assert name in message
+
+    def test_params_round_trip(self):
+        policy = RecoveryPolicy(spare_rows=3, rekey_threshold=5)
+        assert policy_from_params(policy.as_params()) == policy
+        assert policy_from_params(None) is None
+
+    def test_validation_rejects_bad_budgets(self):
+        with pytest.raises(ConfigurationError):
+            RecoveryPolicy(retire_threshold=0)
+        with pytest.raises(ConfigurationError):
+            RecoveryPolicy(spare_rows=-1)
+        with pytest.raises(ConfigurationError):
+            RecoveryPolicy(rekey_threshold=0)
+        with pytest.raises(ConfigurationError):
+            RecoveryPolicy(rekey_window=0)
+        with pytest.raises(ConfigurationError):
+            RecoveryPolicy(trap_overhead_cycles=-1)
+
+
+# -- shadow map ---------------------------------------------------------------
+
+
+class TestShadowMap:
+    def _entry(self, pid=1, address=0x1000, value=0x23, level=3):
+        return ShadowEntry(pid=pid, level=level, entry_address=address,
+                           value=value, virtual_address=0x4000, pfn=5)
+
+    def test_record_lookup_overwrite(self):
+        shadow = ShadowMap()
+        shadow.record(self._entry(value=0x11))
+        shadow.record(self._entry(value=0x22))  # same address: overwrite
+        assert len(shadow) == 1
+        assert shadow.lookup(0x1000).value == 0x22
+        assert shadow.lookup(0x9999) is None
+
+    def test_forget_and_forget_pid(self):
+        shadow = ShadowMap()
+        shadow.record(self._entry(pid=1, address=0x1000))
+        shadow.record(self._entry(pid=1, address=0x1008))
+        shadow.record(self._entry(pid=2, address=0x2000))
+        shadow.forget(0x1000)
+        shadow.forget(0x1000)  # double-forget is a no-op
+        assert len(shadow) == 2
+        assert shadow.forget_pid(1) == 1
+        assert len(shadow) == 1
+        assert shadow.lookup(0x2000).pid == 2
+
+    def test_entries_in_line_covers_eight_slots(self):
+        shadow = ShadowMap()
+        shadow.record(self._entry(address=0x1000))  # slot 0
+        shadow.record(self._entry(address=0x1038))  # slot 7
+        shadow.record(self._entry(address=0x1040))  # next line
+        in_line = list(shadow.entries_in_line(0x1000))
+        assert [entry.entry_address for entry in in_line] == [0x1000, 0x1038]
+        assert shadow.covers_line(0x1010)  # any address inside the line
+        assert not shadow.covers_line(0x2000)
+
+    def test_leaf_properties(self):
+        entry = self._entry()
+        assert entry.is_leaf and entry.vpn == 4
+        inner = ShadowEntry(pid=1, level=1, entry_address=0x0, value=0x1)
+        assert not inner.is_leaf and inner.vpn is None
+
+
+# -- reconstruction -----------------------------------------------------------
+
+
+class TestReconstruction:
+    def test_uncorrectable_line_rebuilt_and_reverified(self):
+        system, process, lines = _guarded_system()
+        kernel = system.kernel
+        target = lines[0]
+        _corrupt(system, target)
+
+        ok, cycles = kernel.reconstruct_pte_line(target)
+        assert ok and cycles > 0
+        clean = system.controller.read_access(target, is_pte=True)
+        assert not clean.pte_check_failed
+        # Translations still resolve to the authoritative frames.
+        vpn = sorted(process.frames)[0]
+        physical = kernel.access_virtual(process, vpn * PAGE_BYTES)
+        assert physical == process.frames[vpn] * PAGE_BYTES
+        assert kernel.stats.get("pte_lines_reconstructed") >= 1
+
+    def test_stale_shadow_value_repaired_from_frames(self):
+        system, process, lines = _guarded_system()
+        kernel = system.kernel
+        # Find a leaf shadow entry on a walked line and poison its value.
+        target, victim = None, None
+        for line in lines:
+            for entry in kernel.shadow.entries_in_line(line):
+                if entry.is_leaf and entry.vpn in process.frames:
+                    target, victim = line, entry
+                    break
+            if victim is not None:
+                break
+        assert victim is not None, "no leaf shadow entry on walked lines"
+        authoritative = process.frames[victim.vpn]
+        stale_pfn = (authoritative + 1) % 1024
+        decoded = X86PageTableEntry(victim.value)
+        victim.value = make_x86_pte(
+            stale_pfn, writable=decoded.writable,
+            user=decoded.user_accessible, no_execute=decoded.no_execute,
+        )
+        victim.pfn = stale_pfn
+
+        _corrupt(system, target)
+        ok, _ = kernel.reconstruct_pte_line(target)
+        assert ok
+        assert kernel.stats.get("stale_shadow_repairs") >= 1
+        # The repaired slot carries the authoritative PFN again.
+        repaired = kernel.shadow.lookup(victim.entry_address)
+        assert repaired.pfn == authoritative
+
+    def test_gone_mapping_rebuilt_as_hole(self):
+        system, process, lines = _guarded_system()
+        kernel = system.kernel
+        target, victim = None, None
+        for line in lines:
+            for entry in kernel.shadow.entries_in_line(line):
+                if entry.is_leaf and entry.vpn in process.frames:
+                    target, victim = line, entry
+                    break
+            if victim is not None:
+                break
+        assert victim is not None
+        del process.frames[victim.vpn]
+
+        _corrupt(system, target)
+        ok, _ = kernel.reconstruct_pte_line(target)
+        assert ok
+        assert kernel.stats.get("stale_shadow_drops") >= 1
+        assert kernel.shadow.lookup(victim.entry_address) is None
+
+    def test_dead_owner_shadow_dropped_and_line_uncovered(self):
+        system, _, _ = _guarded_system()
+        kernel = system.kernel
+        orphan_line = 0x100000  # nothing maps here
+        kernel.shadow.record(ShadowEntry(
+            pid=424242, level=3, entry_address=orphan_line,
+            value=make_x86_pte(5), virtual_address=0x7000, pfn=5,
+        ))
+        ok, cycles = kernel.reconstruct_pte_line(orphan_line)
+        assert not ok and cycles == 0
+        assert kernel.stats.get("stale_shadow_drops") == 1
+        assert kernel.stats.get("reconstruction_misses") == 1
+        assert kernel.shadow.lookup(orphan_line) is None
+
+
+# -- retirement ---------------------------------------------------------------
+
+
+class TestRowRetirement:
+    def test_retire_after_threshold_and_clean_slate(self):
+        system, _, lines = _guarded_system(spare_rows=2)
+        manager = RecoveryManager(
+            system.kernel,
+            RecoveryPolicy(retire_threshold=2, spare_rows=2,
+                           rekey_enabled=False),
+        )
+        target = lines[0]
+        row_key = system.dram.mapper.row_key_of(target)
+
+        _corrupt(system, target)
+        first = manager.handle_pte_check_failed(target)
+        assert first.action == "reconstructed" and not first.retired
+        assert manager.row_fault_count(row_key) == 1
+
+        _corrupt(system, target)
+        second = manager.handle_pte_check_failed(target)
+        assert second.action == "retired" and second.retired
+        assert second.stages == ("reconstruct", "retire")
+        assert second.latency_cycles > first.latency_cycles
+        assert system.dram.is_retired(row_key)
+        # Retirement wipes the row's fault history (spare starts clean).
+        assert manager.row_fault_count(row_key) == 0
+        # The retired row's lines still verify through the remap.
+        assert not system.controller.read_access(
+            target, is_pte=True
+        ).pte_check_failed
+
+    def test_spare_exhaustion_falls_back_to_reconstruction(self):
+        system, _, lines = _guarded_system(spare_rows=1)
+        manager = RecoveryManager(
+            system.kernel,
+            RecoveryPolicy(retire_threshold=1, spare_rows=1,
+                           rekey_enabled=False),
+        )
+        mapper = system.dram.mapper
+        first_row = mapper.row_key_of(lines[0])
+        other = next(
+            line for line in lines if mapper.row_key_of(line) != first_row
+        )
+
+        _corrupt(system, lines[0])
+        assert manager.handle_pte_check_failed(lines[0]).retired
+        assert system.dram.spare_rows_free == 0
+
+        _corrupt(system, other)
+        event = manager.handle_pte_check_failed(other)
+        # Budget gone: the retire stage ran but could not migrate; the
+        # fault is still absorbed by reconstruction, not a panic.
+        assert "retire" in event.stages and not event.retired
+        assert event.recovered and event.action == "reconstructed"
+        assert system.controller.stats.get("row_retirements_exhausted") >= 1
+
+    def test_spare_exhaustion_mid_siege_keeps_guarantees(self):
+        policy = RecoveryPolicy(retire_threshold=1, spare_rows=1,
+                                rekey_enabled=False)
+        cell = run_siege_cell("high", 16, windows=4, seed=SEED,
+                              recovery=policy.as_params())
+        assert cell.spare_rows_left == 0
+        assert cell.rows_retired == 1  # budget, not demand, bounded this
+        assert cell.outcome("silent_corruption") == 0
+        assert cell.injections == 64
+        assert 0.0 <= cell.availability <= 1.0
+
+
+# -- adaptive rekeying --------------------------------------------------------
+
+
+class TestAdaptiveRekey:
+    def test_incident_storm_rotates_epoch_with_cooldown(self):
+        system, _, lines = _guarded_system()
+        manager = RecoveryManager(
+            system.kernel,
+            RecoveryPolicy(retire_enabled=False, rekey_threshold=2,
+                           rekey_window=8, rekey_cooldown=4),
+        )
+        epoch_before = system.guard.epoch
+        _corrupt(system, lines[0])
+        first = manager.handle_pte_check_failed(lines[0])
+        assert not first.rekeyed  # one incident, threshold is two
+        _corrupt(system, lines[0])
+        second = manager.handle_pte_check_failed(lines[0])
+        assert second.rekeyed and "rekey" in second.stages
+        assert system.guard.epoch == epoch_before + 1
+        assert second.latency_cycles > first.latency_cycles  # sweep cost
+        # Two more incidents inside the cooldown: suppressed, not rotated.
+        _corrupt(system, lines[0])
+        manager.handle_pte_check_failed(lines[0])
+        _corrupt(system, lines[0])
+        third = manager.handle_pte_check_failed(lines[0])
+        assert not third.rekeyed
+        assert system.guard.stats.get("adaptive_rekeys_suppressed") >= 1
+        assert manager.stats.get("adaptive_rekeys") == 1
+
+    def test_rekey_mid_campaign_trial_stays_sound_and_deterministic(self):
+        """A rekey firing while a trial holds a raw snapshot must not
+        corrupt the restore path: the cell re-encodes the logical line
+        under the new epoch instead of writing stale-epoch bytes back."""
+        recovery = RecoveryPolicy(
+            retire_enabled=False, rekey_threshold=1, rekey_window=4,
+            rekey_cooldown=0,
+        ).as_params()
+        first = run_campaign_cell("pte_double", 60, SEED, recovery=recovery)
+        assert first.adaptive_rekeys >= 1
+        assert first.outcome("silent_corruption") == 0
+        assert first.outcome("sim_crash") == 0
+        second = run_campaign_cell("pte_double", 60, SEED, recovery=recovery)
+        assert asdict(first) == asdict(second)
+
+
+# -- acceptance: availability accounting --------------------------------------
+
+
+class TestAvailabilityAcceptance:
+    def test_thousand_trial_campaign_recovers_and_replays_identically(self):
+        """The issue's acceptance bar: a seeded 1000-trial uncorrectable
+        campaign under the full policy keeps availability >= 0.99 with
+        zero silent corruption, byte-identical across two runs."""
+        recovery = RecoveryPolicy().as_params()
+        first = run_campaign_cell("pte_double", 1000, 11, recovery=recovery)
+        assert first.trials == 1000
+        assert first.outcome("silent_corruption") == 0
+        assert first.outcome("detected_uncorrectable") == 0  # all absorbed
+        assert first.recovered >= 1
+        assert first.availability >= 0.99
+        assert first.exposure_cycles == 1000 * 2_000_000
+        assert first.recovery_latency_cycles  # honest per-event latencies
+        assert all(lat > 0 for lat in first.recovery_latency_cycles)
+
+        second = run_campaign_cell("pte_double", 1000, 11, recovery=recovery)
+        assert asdict(first) == asdict(second)
+
+    def test_none_policy_matches_seed_behaviour(self):
+        recovery = recovery_policy("none").as_params()
+        with_policy = run_campaign_cell("pte_double", 40, SEED,
+                                        recovery=recovery)
+        without = run_campaign_cell("pte_double", 40, SEED)
+        # No stage enabled: every uncorrectable fault stays a panic and
+        # the outcome histogram mirrors the policy-free cell otherwise.
+        assert with_policy.outcome("panic") == \
+            without.outcome("detected_uncorrectable")
+        assert with_policy.outcome("detected_corrected") == \
+            without.outcome("detected_corrected")
+        assert with_policy.availability < 1.0
