@@ -4,9 +4,11 @@ Unlike the figure benchmarks (which reproduce *simulated* results), this
 one measures the *simulator itself*: end-to-end accesses/sec on a
 fig6-style trace-driven run and MAC computations/sec, for each MAC
 backend, against the throughput recorded at the growth seed. It guards
-the hot-path optimisations (table-driven QARMA, the MAC verify cache and
-the allocation-free access loop) against regression, and asserts the one
-property that makes them safe: the cache changes *no* simulated outcome.
+the hot-path optimisations (table-driven QARMA, the MAC verify cache,
+the allocation-free access loop and the fused batch execution core —
+``repro.cpu.batch_core``, selected by ``REPRO_BATCH``) against
+regression, and asserts the one property that makes them safe: neither
+the cache nor batching changes *any* simulated outcome.
 
 Writes machine-readable ``BENCH_hotpath.json`` at the repo root.
 """
@@ -14,6 +16,7 @@ Writes machine-readable ``BENCH_hotpath.json`` at the repo root.
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 import time
 from dataclasses import replace
@@ -37,56 +40,81 @@ SEED_BASELINE_ACC_PER_SEC = {
     "qarma": 2_105.0,
 }
 
+# Accesses/sec recorded by the previous (pre-batching) optimisation pass
+# on the reference container — the "current optimised" bar the batched
+# core is measured against. Same host caveat as the seed numbers.
+PREV_RECORDED_ACC_PER_SEC = {
+    "pseudo": 77_719.0,
+    "blake2": 88_646.0,
+    "qarma": 58_917.0,
+}
+
 
 def _run_workload(mac_algorithm: str, mem_ops: int, warmup_ops: int,
-                  verify_cache: bool = True) -> dict:
-    """One fig6-style timed window; returns host + simulated metrics."""
-    # The verify cache defaults to off; size it explicitly here so the
-    # bench keeps measuring (and invariance-checking) both states.
-    config = replace(
-        optimized_ptguard_config(),
-        mac_verify_cache_entries=4096 if verify_cache else 0,
-    )
-    system = build_system(ptguard=config, mac_algorithm=mac_algorithm, seed=2023)
-    profile = get_workload(WORKLOAD)
-    process, trace = system.workload_process(profile, seed=11)
-    core = system.new_core(process)
-    core.prefault(trace)
-    for _ in range(warmup_ops):
-        record = trace.next_record()
-        core._execute(record.virtual_address, record.is_write)
-    guard = system.controller.ptguard
-    computations_before = guard.engine.computations
-    cycles_before = core.cycles
-    instructions_before = core.instructions
-    # Time in chunks and report the best chunk rate: shared-container CPU
-    # noise only ever slows a chunk down, so max-rate is the stable
-    # statistic for "how fast is this code".
-    chunks = 4
-    chunk_ops = max(1, mem_ops // chunks)
-    best_rate = 0.0
-    elapsed = 0.0
-    for _ in range(chunks):
-        start = time.perf_counter()
-        core.run(trace, mem_ops=chunk_ops)
-        chunk_sec = time.perf_counter() - start
-        elapsed += chunk_sec
-        best_rate = max(best_rate, chunk_ops / chunk_sec)
-    computations = guard.engine.computations - computations_before
-    engine_stats = guard.engine.stats
-    return {
-        "mac": mac_algorithm,
-        "mem_ops": chunk_ops * chunks,
-        "elapsed_sec": elapsed,
-        "acc_per_sec": best_rate,
-        "mac_computations": computations,
-        "mac_computations_per_sec": computations / elapsed,
-        "verify_cache_hits": engine_stats.get("verify_cache_hits"),
-        "verify_cache_misses": engine_stats.get("verify_cache_misses"),
-        # Simulated outcomes — must be invariant under host-side tweaks.
-        "cycles": core.cycles - cycles_before,
-        "instructions": core.instructions - instructions_before,
-    }
+                  verify_cache: bool = True, batch: int | None = None) -> dict:
+    """One fig6-style timed window; returns host + simulated metrics.
+
+    ``batch`` pins ``REPRO_BATCH`` for the run (None = ambient default):
+    1 forces the scalar reference loop, >1 the fused batch core.
+    """
+    previous_batch = os.environ.get("REPRO_BATCH")
+    if batch is not None:
+        os.environ["REPRO_BATCH"] = str(batch)
+    try:
+        # The verify cache defaults to off; size it explicitly here so the
+        # bench keeps measuring (and invariance-checking) both states.
+        config = replace(
+            optimized_ptguard_config(),
+            mac_verify_cache_entries=4096 if verify_cache else 0,
+        )
+        system = build_system(
+            ptguard=config, mac_algorithm=mac_algorithm, seed=2023
+        )
+        profile = get_workload(WORKLOAD)
+        process, trace = system.workload_process(profile, seed=11)
+        core = system.new_core(process)
+        core.prefault(trace)
+        for _ in range(warmup_ops):
+            record = trace.next_record()
+            core._execute(record.virtual_address, record.is_write)
+        guard = system.controller.ptguard
+        computations_before = guard.engine.computations
+        cycles_before = core.cycles
+        instructions_before = core.instructions
+        # Time in chunks and report the best chunk rate: shared-container
+        # CPU noise only ever slows a chunk down, so max-rate is the
+        # stable statistic for "how fast is this code".
+        chunks = 4
+        chunk_ops = max(1, mem_ops // chunks)
+        best_rate = 0.0
+        elapsed = 0.0
+        for _ in range(chunks):
+            start = time.perf_counter()
+            core.run(trace, mem_ops=chunk_ops)
+            chunk_sec = time.perf_counter() - start
+            elapsed += chunk_sec
+            best_rate = max(best_rate, chunk_ops / chunk_sec)
+        computations = guard.engine.computations - computations_before
+        engine_stats = guard.engine.stats
+        return {
+            "mac": mac_algorithm,
+            "mem_ops": chunk_ops * chunks,
+            "elapsed_sec": elapsed,
+            "acc_per_sec": best_rate,
+            "mac_computations": computations,
+            "mac_computations_per_sec": computations / elapsed,
+            "verify_cache_hits": engine_stats.get("verify_cache_hits"),
+            "verify_cache_misses": engine_stats.get("verify_cache_misses"),
+            # Simulated outcomes — must be invariant under host-side tweaks.
+            "cycles": core.cycles - cycles_before,
+            "instructions": core.instructions - instructions_before,
+        }
+    finally:
+        if batch is not None:
+            if previous_batch is None:
+                os.environ.pop("REPRO_BATCH", None)
+            else:
+                os.environ["REPRO_BATCH"] = previous_batch
 
 
 def _qarma_table_speedup(blocks: int) -> dict:
@@ -123,22 +151,44 @@ def test_bench_perf_hotpath(once, emit):
     warmup = int(2_000 * scale())
 
     def experiment():
+        # Headline rows use the fused batch core (the shipping default);
+        # scalar rows force batch=1 to quantify the batching win and to
+        # cross-check that every simulated outcome is bit-identical.
         rows = [
             _run_workload(mac, mem_ops, warmup)
             for mac in ("pseudo", "blake2", "qarma")
         ]
+        scalar_rows = [
+            _run_workload(mac, mem_ops, warmup, batch=1)
+            for mac in ("pseudo", "blake2", "qarma")
+        ]
         cache_off = _run_workload("blake2", mem_ops, warmup, verify_cache=False)
         qarma = _qarma_table_speedup(blocks=max(256, int(4096 * scale())))
-        return rows, cache_off, qarma
+        return rows, scalar_rows, cache_off, qarma
 
-    rows, cache_off, qarma = once(experiment)
+    rows, scalar_rows, cache_off, qarma = once(experiment)
     by_mac = {row["mac"]: row for row in rows}
+    scalar_by_mac = {row["mac"]: row for row in scalar_rows}
     cache_on = by_mac["blake2"]
 
     speedups = {
         row["mac"]: row["acc_per_sec"] / SEED_BASELINE_ACC_PER_SEC[row["mac"]]
         for row in rows
     }
+    batch_speedups = {
+        mac: by_mac[mac]["acc_per_sec"] / scalar_by_mac[mac]["acc_per_sec"]
+        for mac in by_mac
+    }
+    # Batched and scalar runs must agree on every simulated quantity.
+    invariant_keys = (
+        "cycles", "instructions", "mac_computations",
+        "verify_cache_hits", "verify_cache_misses",
+    )
+    batch_outcomes_identical = all(
+        by_mac[mac][key] == scalar_by_mac[mac][key]
+        for mac in by_mac
+        for key in invariant_keys
+    )
     hits = cache_on["verify_cache_hits"]
     misses = cache_on["verify_cache_misses"]
     hit_rate = hits / (hits + misses) if hits + misses else 0.0
@@ -152,17 +202,21 @@ def test_bench_perf_hotpath(once, emit):
         f"Hot-path throughput — {WORKLOAD}, {mem_ops} mem ops "
         f"(REPRO_SCALE={scale():g})",
         "",
-        f"{'MAC':<8} {'acc/s':>10} {'seed acc/s':>11} {'speedup':>8} "
-        f"{'MACs/s':>10}",
+        f"{'MAC':<8} {'acc/s':>10} {'scalar':>10} {'batch':>7} "
+        f"{'seed acc/s':>11} {'speedup':>8} {'MACs/s':>10}",
     ]
     for row in rows:
         lines.append(
             f"{row['mac']:<8} {row['acc_per_sec']:>10,.0f} "
+            f"{scalar_by_mac[row['mac']]['acc_per_sec']:>10,.0f} "
+            f"{batch_speedups[row['mac']]:>6.2f}x "
             f"{SEED_BASELINE_ACC_PER_SEC[row['mac']]:>11,.0f} "
             f"{speedups[row['mac']]:>7.2f}x "
             f"{row['mac_computations_per_sec']:>10,.0f}"
         )
     lines += [
+        "",
+        f"batched vs scalar outcomes bit-identical: {batch_outcomes_identical}",
         "",
         f"qarma/blake2 host-cost ratio "
         f"{cache_on['acc_per_sec'] / by_mac['qarma']['acc_per_sec']:.2f}x "
@@ -182,6 +236,7 @@ def test_bench_perf_hotpath(once, emit):
         "mem_ops": mem_ops,
         "repro_scale": scale(),
         "seed_baseline_acc_per_sec": SEED_BASELINE_ACC_PER_SEC,
+        "prev_recorded_acc_per_sec": PREV_RECORDED_ACC_PER_SEC,
         "optimised": {
             row["mac"]: {
                 "acc_per_sec": row["acc_per_sec"],
@@ -189,6 +244,14 @@ def test_bench_perf_hotpath(once, emit):
                 "speedup_vs_seed": speedups[row["mac"]],
             }
             for row in rows
+        },
+        "batched": {
+            "default_batch_size": 4096,
+            "scalar_acc_per_sec": {
+                mac: scalar_by_mac[mac]["acc_per_sec"] for mac in scalar_by_mac
+            },
+            "batched_vs_scalar_speedup": batch_speedups,
+            "outcomes_identical": batch_outcomes_identical,
         },
         "qarma_table": qarma,
         "verify_cache": {
@@ -204,6 +267,7 @@ def test_bench_perf_hotpath(once, emit):
 
     # Host-independent properties (always asserted).
     assert outcomes_identical, "verify cache changed a simulated outcome"
+    assert batch_outcomes_identical, "batching changed a simulated outcome"
     assert qarma["speedup"] >= 8.0, "table-driven QARMA lost its edge"
     # QARMA used to cost ~11x blake2 end-to-end; must stay within ~10x.
     assert cache_on["acc_per_sec"] / by_mac["qarma"]["acc_per_sec"] <= 10.0
@@ -212,4 +276,14 @@ def test_bench_perf_hotpath(once, emit):
     if scale() >= 1.0:
         assert speedups["blake2"] >= 3.0, (
             f"end-to-end blake2 speedup {speedups['blake2']:.2f}x < 3x seed"
+        )
+        assert speedups["qarma"] >= 10.0, (
+            f"end-to-end qarma speedup {speedups['qarma']:.2f}x < 10x seed"
+        )
+        prev_ratio = (
+            by_mac["qarma"]["acc_per_sec"] / PREV_RECORDED_ACC_PER_SEC["qarma"]
+        )
+        assert prev_ratio >= 1.5, (
+            f"batched qarma only {prev_ratio:.2f}x the previous recorded "
+            "optimised throughput"
         )

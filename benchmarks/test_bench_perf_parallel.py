@@ -21,7 +21,13 @@ import time
 from conftest import scale
 
 from repro.analysis.perf_eval import run_figure6, run_figure7
-from repro.harness.parallel import ResultCache, default_workers
+from repro.harness.parallel import (
+    ResultCache,
+    SimJob,
+    default_workers,
+    register_job_kind,
+    run_jobs,
+)
 
 REPO_ROOT = pathlib.Path(__file__).parent.parent
 FIG7_WORKLOADS = ["xalancbmk", "lbm", "mcf", "pr", "bwaves", "xz", "povray", "namd"]
@@ -35,6 +41,45 @@ def _sweep(mem_ops: int, warmup: int, workers: int, cache) -> tuple[float, tuple
         FIG7_WORKLOADS, mem_ops=mem_ops, warmup_ops=warmup, workers=workers, cache=cache
     )
     return time.perf_counter() - start, (fig6, fig7)
+
+
+# Near-zero-cost cell for the dispatch-overhead microbench: with nothing
+# to simulate, the pooled wall-clock IS the fabric's dispatch cost
+# (queue round-trips, per-task pickling, supervisor wake-ups). The
+# ``fork`` start method makes the registration visible to workers.
+register_job_kind("bench_noop", lambda params: params["i"])
+
+
+def _dispatch_overhead(workers: int, jobs_n: int) -> dict:
+    """Pooled wall-clock for ``jobs_n`` no-op cells, unbatched vs batched.
+
+    ``REPRO_JOB_BATCH=16`` amortises the per-task round-trip over 16
+    cells and returns results as one pickled bulk list per chunk; the
+    unbatched/batched ratio is the dispatch-overhead reduction.
+    """
+    jobs = [SimJob("bench_noop", {"i": i}) for i in range(jobs_n)]
+    seconds = {}
+    expected = list(range(jobs_n))
+    for batch in (1, 16):
+        previous = os.environ.get("REPRO_JOB_BATCH")
+        os.environ["REPRO_JOB_BATCH"] = str(batch)
+        try:
+            start = time.perf_counter()
+            results = run_jobs(jobs, workers=workers)
+            seconds[batch] = time.perf_counter() - start
+        finally:
+            if previous is None:
+                os.environ.pop("REPRO_JOB_BATCH", None)
+            else:
+                os.environ["REPRO_JOB_BATCH"] = previous
+        assert results == expected, "job batching reordered or lost results"
+    return {
+        "jobs": jobs_n,
+        "workers": workers,
+        "unbatched_sec": seconds[1],
+        "batched16_sec": seconds[16],
+        "overhead_reduction": seconds[1] / seconds[16],
+    }
 
 
 def test_bench_perf_parallel(once, emit):
@@ -60,6 +105,7 @@ def test_bench_perf_parallel(once, emit):
             "cold_hits": cold_cache.hits,
             "warm_hits": warm_cache.hits,
             "warm_misses": warm_cache.misses,
+            "dispatch": _dispatch_overhead(workers, jobs_n=96),
         }
 
     try:
@@ -71,6 +117,11 @@ def test_bench_perf_parallel(once, emit):
     warm_speedup = result["parallel_sec"] / result["warm_sec"]
     cells = result["cold_misses"]
     cpus = os.cpu_count() or 1
+    # Pool scaling needs real CPUs under the pool: below 4 cores the
+    # workers time-slice one another and the speedup number measures the
+    # host, not the fabric. Record the fact instead of asserting on it.
+    degraded_host = cpus < 4
+    dispatch = result["dispatch"]
 
     emit(
         "\n".join(
@@ -88,9 +139,14 @@ def test_bench_perf_parallel(once, emit):
                 "",
                 f"host CPUs: {cpus} | pool size: {workers} | "
                 f"{cells} unique cells | warm hits {result['warm_hits']} "
-                f"(fig6/fig7 share {result['warm_hits'] - cells} cells)",
+                f"(fig6/fig7 share {result['warm_hits'] - cells} cells)"
+                + (" | DEGRADED HOST (<4 CPUs)" if degraded_host else ""),
                 f"rows identical across serial/parallel/cached: "
                 f"{result['rows_identical']}",
+                f"dispatch overhead ({dispatch['jobs']} no-op cells): "
+                f"{dispatch['unbatched_sec']:.2f}s unbatched vs "
+                f"{dispatch['batched16_sec']:.2f}s at REPRO_JOB_BATCH=16 "
+                f"({dispatch['overhead_reduction']:.1f}x less)",
             ]
         )
     )
@@ -100,7 +156,9 @@ def test_bench_perf_parallel(once, emit):
         "mem_ops": mem_ops,
         "cells": cells,
         "host_cpus": cpus,
+        "degraded_host": degraded_host,
         "workers": workers,
+        "dispatch_overhead": dispatch,
         "serial_sec": result["serial_sec"],
         "parallel_cold_sec": result["parallel_sec"],
         "warm_cache_sec": result["warm_sec"],
@@ -120,10 +178,17 @@ def test_bench_perf_parallel(once, emit):
     assert warm_speedup >= 10.0, (
         f"warm-cache replay only {warm_speedup:.1f}x faster than cold"
     )
+    # No-op cells make dispatch the entire pooled cost, so batching 16
+    # cells per task must win clearly on any host.
+    assert dispatch["overhead_reduction"] >= 1.5, (
+        f"job batching only cut dispatch overhead "
+        f"{dispatch['overhead_reduction']:.2f}x"
+    )
     # Pool scaling needs real CPUs under the pool; bind the acceptance
     # threshold only where the hardware can express it (>= 4 cores, full
-    # scale — below that, pool overhead dominates the shrunken cells).
-    if cpus >= 4 and scale() >= 1.0:
+    # scale — below that, pool overhead dominates the shrunken cells and
+    # the run is recorded as degraded_host instead).
+    if not degraded_host and scale() >= 1.0:
         assert parallel_speedup >= 2.5, (
             f"{workers}-worker sweep only {parallel_speedup:.2f}x vs serial"
         )

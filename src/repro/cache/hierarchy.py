@@ -165,6 +165,19 @@ class CacheHierarchy:
             if victim is not None and victim.dirty:
                 self._handle_victim(victim, level=0)
             return AccessResult(data, latency, "L2")
+        return self.read_below_l2(address, is_pte, latency)
+
+    def read_below_l2(self, address: int, is_pte: bool, latency: int) -> AccessResult:
+        """Continue a read that missed L1 and L2: probe L3, then DRAM.
+
+        Split out of :meth:`read` so the batched execution core
+        (:mod:`repro.cpu.batch_core`) can inline the L1/L2 probes and fall
+        through to this exact slow path — one shared implementation keeps
+        the two paths outcome-identical by construction. ``latency`` is
+        the cycle cost already accumulated by the caller's upper-level
+        probes; ``address`` must already be line-aligned.
+        """
+        counters = self._counters
         l3 = self.l3
         if l3 is not None:
             latency += self._lat3

