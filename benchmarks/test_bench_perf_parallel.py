@@ -82,6 +82,103 @@ def _dispatch_overhead(workers: int, jobs_n: int) -> dict:
     }
 
 
+def _campaign_sweep(trials: int) -> tuple[float, list]:
+    """A cold fault-campaign sweep: 2 seeds x 9 scenarios, serial.
+
+    No result cache (every cell simulates), so the wall-clock is
+    boot + trials per cell — exactly the regime the boot-snapshot layer
+    targets: all 9 scenario cells of one seed share a boot.
+    """
+    from repro.analysis.fault_matrix import format_fault_matrix, run_fault_matrix
+
+    start = time.perf_counter()
+    reports = [
+        format_fault_matrix(
+            run_fault_matrix(
+                trials_per_cell=trials, seed=seed, workload="xalancbmk", workers=1
+            )
+        )
+        for seed in (11, 12)
+    ]
+    return time.perf_counter() - start, reports
+
+
+def _snapshot_sweep_overhead(trials: int) -> dict:
+    """Cold campaign sweep with boot snapshots off vs on.
+
+    Each mode gets a pristine cache dir (so the disk tier starts empty)
+    and a reset memo — both measurements are genuinely cold; the "on"
+    run's wins come only from cells *within* the sweep sharing boots.
+    The reports must be byte-identical.
+    """
+    from repro.harness import snapshot
+
+    timings = {}
+    reports = {}
+    for mode, enabled in (("off", "0"), ("on", "1")):
+        root = tempfile.mkdtemp(prefix=f"ptguard-bench-snap-{mode}-")
+        previous_cache = os.environ.get("REPRO_CACHE_DIR")
+        previous_snap = os.environ.get("REPRO_BOOT_SNAPSHOT")
+        os.environ["REPRO_CACHE_DIR"] = root
+        os.environ["REPRO_BOOT_SNAPSHOT"] = enabled
+        snapshot.reset()
+        try:
+            timings[mode], reports[mode] = _campaign_sweep(trials)
+        finally:
+            for key, value in (
+                ("REPRO_CACHE_DIR", previous_cache),
+                ("REPRO_BOOT_SNAPSHOT", previous_snap),
+            ):
+                if value is None:
+                    os.environ.pop(key, None)
+                else:
+                    os.environ[key] = value
+            snapshot.reset()
+            shutil.rmtree(root, ignore_errors=True)
+    return {
+        "trials_per_cell": trials,
+        "cells": 18,
+        "cold_boot_sec": timings["off"],
+        "snapshot_sec": timings["on"],
+        "speedup": timings["off"] / timings["on"],
+        "reports_identical": reports["off"] == reports["on"],
+    }
+
+
+def _journal_flush_overhead(jobs_n: int) -> dict:
+    """Serial no-op cells against a fresh cache: journal cost isolated.
+
+    ``REPRO_JOURNAL_FLUSH=1`` restores fsync-per-append (the seed
+    behaviour); the default (16) bounds fsyncs to one per 16 appends.
+    With nothing to simulate, the delta is the journal's dispatch
+    overhead.
+    """
+    seconds = {}
+    expected = list(range(jobs_n))
+    for interval in (1, 16):
+        root = pathlib.Path(tempfile.mkdtemp(prefix="ptguard-bench-journal-"))
+        previous = os.environ.get("REPRO_JOURNAL_FLUSH")
+        os.environ["REPRO_JOURNAL_FLUSH"] = str(interval)
+        try:
+            jobs = [SimJob("bench_noop", {"i": i}) for i in range(jobs_n)]
+            start = time.perf_counter()
+            results = run_jobs(jobs, workers=1, cache=ResultCache(root))
+            seconds[interval] = time.perf_counter() - start
+        finally:
+            if previous is None:
+                os.environ.pop("REPRO_JOURNAL_FLUSH", None)
+            else:
+                os.environ["REPRO_JOURNAL_FLUSH"] = previous
+            shutil.rmtree(root, ignore_errors=True)
+        assert results == expected, "journal batching reordered or lost results"
+    return {
+        "jobs": jobs_n,
+        "fsync_per_append_sec": seconds[1],
+        "fsync_every16_sec": seconds[16],
+        "overhead_reduction": seconds[1] / seconds[16],
+    }
+
+
 def test_bench_perf_parallel(once, emit):
     mem_ops = int(20_000 * scale())
     warmup = int(12_000 * scale())
@@ -106,6 +203,10 @@ def test_bench_perf_parallel(once, emit):
             "warm_hits": warm_cache.hits,
             "warm_misses": warm_cache.misses,
             "dispatch": _dispatch_overhead(workers, jobs_n=96),
+            "snapshot_sweep": _snapshot_sweep_overhead(
+                trials=max(5, int(15 * scale()))
+            ),
+            "journal": _journal_flush_overhead(jobs_n=200),
         }
 
     try:
@@ -122,6 +223,8 @@ def test_bench_perf_parallel(once, emit):
     # host, not the fabric. Record the fact instead of asserting on it.
     degraded_host = cpus < 4
     dispatch = result["dispatch"]
+    snap = result["snapshot_sweep"]
+    journal = result["journal"]
 
     emit(
         "\n".join(
@@ -147,6 +250,15 @@ def test_bench_perf_parallel(once, emit):
                 f"{dispatch['unbatched_sec']:.2f}s unbatched vs "
                 f"{dispatch['batched16_sec']:.2f}s at REPRO_JOB_BATCH=16 "
                 f"({dispatch['overhead_reduction']:.1f}x less)",
+                f"boot snapshots (cold campaign sweep, {snap['cells']} cells "
+                f"x {snap['trials_per_cell']} trials): "
+                f"{snap['cold_boot_sec']:.2f}s off vs "
+                f"{snap['snapshot_sec']:.2f}s on = {snap['speedup']:.2f}x, "
+                f"reports identical: {snap['reports_identical']}",
+                f"journal fsync batching ({journal['jobs']} no-op cells): "
+                f"{journal['fsync_per_append_sec']:.2f}s per-append vs "
+                f"{journal['fsync_every16_sec']:.2f}s at REPRO_JOURNAL_FLUSH=16 "
+                f"({journal['overhead_reduction']:.1f}x less)",
             ]
         )
     )
@@ -159,6 +271,8 @@ def test_bench_perf_parallel(once, emit):
         "degraded_host": degraded_host,
         "workers": workers,
         "dispatch_overhead": dispatch,
+        "boot_snapshots": snap,
+        "journal_flush": journal,
         "serial_sec": result["serial_sec"],
         "parallel_cold_sec": result["parallel_sec"],
         "warm_cache_sec": result["warm_sec"],
@@ -175,6 +289,9 @@ def test_bench_perf_parallel(once, emit):
     # Host-independent properties (always asserted).
     assert result["rows_identical"], "execution mode changed a simulated result"
     assert result["warm_misses"] == 0, "warm cache replay re-simulated a cell"
+    assert snap["reports_identical"], (
+        "boot snapshots changed a campaign report"
+    )
     assert warm_speedup >= 10.0, (
         f"warm-cache replay only {warm_speedup:.1f}x faster than cold"
     )
@@ -191,4 +308,9 @@ def test_bench_perf_parallel(once, emit):
     if not degraded_host and scale() >= 1.0:
         assert parallel_speedup >= 2.5, (
             f"{workers}-worker sweep only {parallel_speedup:.2f}x vs serial"
+        )
+    if scale() >= 1.0:
+        assert snap["speedup"] >= 2.0, (
+            f"boot snapshots only {snap['speedup']:.2f}x on the cold "
+            "campaign sweep"
         )

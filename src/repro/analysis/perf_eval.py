@@ -14,14 +14,16 @@ simulations tractable — see :class:`repro.crypto.mac.PseudoLineMAC`.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.common.config import PTGuardConfig, optimized_ptguard_config
 from repro.cpu.core import CoreResult
+from repro.cpu.trace import TraceGenerator
 from repro.cpu.workloads import WORKLOADS, WorkloadProfile, get_workload
+from repro.harness import snapshot as boot_snapshot
 from repro.harness.parallel import ResultCache, SimJob, guard_config_params, run_jobs
-from repro.harness.system import build_system
+from repro.harness.system import COLD_BASE, HOT_BASE, build_system
 
 
 @dataclass(frozen=True)
@@ -97,12 +99,50 @@ def run_workload(
     The result is a pure function of the arguments (a fresh system is
     built per call), which is what lets :func:`workload_job` run cells
     in any process and cache them content-addressed.
+
+    Booting — build machine, map regions, (optionally) prefault — is
+    identical for every call sharing ``(profile, config-sans-latency,
+    seed, prefault, mac_algorithm)``, so it goes through the boot
+    snapshot layer (:mod:`repro.harness.snapshot`): the first such call
+    boots cold and is snapshotted; later calls deep-restore a private
+    copy. ``mac_latency_cycles`` stays out of the snapshot key because
+    the guard reads it per access from ``guard.config``, which is
+    re-pointed at the caller's real config after restore — that is what
+    lets the fig-7 latency sweep share one snapshot per (workload,
+    design). Prefault uses a throwaway core: it only drives
+    ``kernel.handle_page_fault``, so machine state is identical to
+    faulting through the measurement core.
     """
-    system = build_system(ptguard=guard_config, mac_algorithm=mac_algorithm, seed=seed)
-    process, trace = system.workload_process(profile, seed=seed)
+
+    def boot():
+        system = build_system(
+            ptguard=guard_config, mac_algorithm=mac_algorithm, seed=seed
+        )
+        process, trace = system.workload_process(profile, seed=seed)
+        if prefault:
+            system.new_core(process).prefault(trace)
+        return system, process.pid
+
+    config_params = guard_config_params(guard_config)
+    if config_params is not None:
+        config_params = dict(config_params)
+        del config_params["mac_latency_cycles"]
+    system, pid = boot_snapshot.cached_boot(
+        "workload_run",
+        {
+            "workload": asdict(profile),
+            "config": config_params,
+            "seed": seed,
+            "prefault": prefault,
+            "mac_algorithm": mac_algorithm,
+        },
+        boot,
+    )
+    if system.guard is not None:
+        system.guard.config = guard_config
+    process = system.kernel.processes[pid]
+    trace = TraceGenerator(profile, hot_base=HOT_BASE, cold_base=COLD_BASE, seed=seed)
     core = system.new_core(process)
-    if prefault:
-        core.prefault(trace)
     return core.run(trace, mem_ops=mem_ops, warmup_ops=warmup_ops)
 
 

@@ -48,6 +48,21 @@ def batch_size(default: int = DEFAULT_BATCH_SIZE) -> int:
     return value if value > 0 else 0
 
 
+def boot_snapshot_enabled() -> bool:
+    """``REPRO_BOOT_SNAPSHOT`` gate for the post-boot snapshot cache.
+
+    On by default: fabric cells that share a boot configuration restore
+    a deep copy of a memoized fully-booted machine instead of re-booting
+    (:mod:`repro.harness.snapshot`), which is what makes cold campaign
+    sweeps cheap. ``0``/``false``/``off``/``no`` force every cell to
+    boot from scratch — the reference behaviour the CI
+    ``snapshot-equivalence-smoke`` job byte-compares against. Runs under
+    ``--validate`` bypass snapshots regardless of this setting.
+    """
+    raw = os.environ.get("REPRO_BOOT_SNAPSHOT", "").strip().lower()
+    return raw not in {"0", "false", "off", "no"}
+
+
 @dataclass(frozen=True)
 class CacheConfig:
     """Geometry and latency of one cache level."""

@@ -83,6 +83,17 @@ class MACEngine:
         self._oracle = None
         self._oracle_period = 0
         self._oracle_countdown = 0
+        # Bulk-tag hints (batched walk support): address -> (masked line
+        # bytes, tag), primed through :meth:`prime_bulk_tags` by the
+        # batched execution core. Unlike the verify cache, a hint hit
+        # still counts a ``computations`` tick and still runs the oracle
+        # countdown — the hint replaces only the *host-side* scalar tag
+        # computation, never a simulated outcome, so it is legal with the
+        # verify cache disabled. ``bulk_hint_hits`` is a plain attribute
+        # (not a stats key) so ``stats`` stays identical batched vs
+        # scalar.
+        self._bulk_tags: "dict[int, tuple[bytes, int]] | None" = None
+        self.bulk_hint_hits = 0
         self.stats = StatGroup("mac_engine")
 
     @property
@@ -101,7 +112,19 @@ class MACEngine:
                 cache.move_to_end(address)
                 return entry[1]
             self.stats.increment("verify_cache_misses")
-        tag = self.line_mac.compute(masked, address)
+        tag = None
+        bulk = self._bulk_tags
+        if bulk is not None:
+            hint = bulk.get(address)
+            if hint is not None and hint[0] == masked:
+                # Hint tags were produced by compute_batch over the same
+                # masked bytes, so this IS the scalar tag — a changed
+                # protected bit (fault, tamper) misses the content check
+                # and falls through to the reference scalar path below.
+                tag = hint[1]
+                self.bulk_hint_hits += 1
+        if tag is None:
+            tag = self.line_mac.compute(masked, address)
         if self._oracle is not None:
             self._oracle_countdown -= 1
             if self._oracle_countdown <= 0:
@@ -150,6 +173,42 @@ class MACEngine:
         self.stats.increment("verify_cache_warmed", count)
         return count
 
+    def prime_bulk_tags(self, lines, addresses) -> int:
+        """Pre-compute tag hints for ``addresses`` in one vectorized pass.
+
+        Used by the batched execution core before a walk-heavy batch:
+        page-table lines are gathered and their tags computed through
+        ``compute_batch`` so that mid-batch :meth:`compute` calls — which
+        are what the inline page walk's PTE-line fills land on — resolve
+        from the hint dict instead of paying the scalar tag (for qarma,
+        ~100 us each). Refresh-aware: addresses whose existing hint still
+        matches the current masked bytes are skipped. Requires a batched
+        backend; returns 0 (and primes nothing) when ``line_mac`` has no
+        ``compute_batch``, since scalar priming would merely move the
+        same host cost earlier.
+        """
+        compute_batch = getattr(self.line_mac, "compute_batch", None)
+        if compute_batch is None:
+            return 0
+        bulk = self._bulk_tags
+        if bulk is None:
+            bulk = self._bulk_tags = {}
+        fresh_masked = []
+        fresh_addresses = []
+        for line, address in zip(lines, addresses):
+            masked = pattern.mask_unprotected(line, self.max_phys_bits)
+            hint = bulk.get(address)
+            if hint is not None and hint[0] == masked:
+                continue
+            fresh_masked.append(masked)
+            fresh_addresses.append(address)
+        if not fresh_masked:
+            return 0
+        tags = compute_batch(fresh_masked, fresh_addresses)
+        for masked, address, tag in zip(fresh_masked, fresh_addresses, tags):
+            bulk[address] = (masked, int(tag))
+        return len(fresh_masked)
+
     def attach_oracle(self, reference_compute, sample_period: int = 64) -> None:
         """Arm the differential oracle (``--validate``).
 
@@ -186,11 +245,16 @@ class MACEngine:
         cache = self._cache
         if cache is not None and cache.pop(address, None) is not None:
             self.stats.increment("verify_cache_invalidations")
+        bulk = self._bulk_tags
+        if bulk is not None:
+            bulk.pop(address, None)
 
     def clear_cache(self) -> None:
         """Drop every memoized tag (key rotation, experiment boundaries)."""
         if self._cache is not None:
             self._cache.clear()
+        if self._bulk_tags is not None:
+            self._bulk_tags.clear()
 
     def compute_zero_mac(self) -> int:
         """The pre-computed MAC of an all-zero line *without* address binding.

@@ -87,6 +87,17 @@ WORKLOADS: List[WorkloadProfile] = [
 
 WORKLOADS_BY_NAME: Dict[str, WorkloadProfile] = {w.name: w for w in WORKLOADS}
 
+# Synthetic TLB-thrashing profile: uniform-random pointer chasing over a
+# footprint far beyond TLB x page-size reach, so nearly every access
+# walks — the PThammer-style implicit-access regime where page-walk cost
+# (and PT-Guard's MAC verification of walked PTE lines) dominates. Used
+# by the batched-walk equivalence tests and BENCH_hotpath.json; kept out
+# of WORKLOADS so the figure-6 grid stays the paper's 25 benchmarks.
+WALK_HEAVY = WorkloadProfile(
+    "walkheavy", "synthetic", 300.0, 192, 1.0, write_fraction=0.1
+)
+WORKLOADS_BY_NAME[WALK_HEAVY.name] = WALK_HEAVY
+
 MEMORY_INTENSIVE = [w.name for w in WORKLOADS if w.target_mpki >= 10.0]
 
 

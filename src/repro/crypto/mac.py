@@ -69,6 +69,20 @@ class QarmaLineMAC:
         self._mask = (1 << mac_bits) - 1
         self._batch = None  # lazily built numpy QarmaBatch128
 
+    def __deepcopy__(self, memo):
+        # Keyed but stateless after construction (compute() mutates
+        # nothing; _batch is a lazily-built cache of derived tables), so
+        # boot-snapshot restores share the instance instead of cloning
+        # the cipher tables.
+        return self
+
+    def __getstate__(self):
+        # The batched cipher holds large numpy table views; it rebuilds
+        # lazily on first compute_batch, so never serialize it.
+        state = self.__dict__.copy()
+        state["_batch"] = None
+        return state
+
     def compute(self, line: bytes, address: int) -> int:
         if len(line) != CACHELINE_BYTES:
             raise ValueError(f"line must be {CACHELINE_BYTES} bytes")
@@ -138,6 +152,11 @@ class SipHashLineMAC:
         self.key_bytes = 16
         self._key = key
 
+    def __deepcopy__(self, memo):
+        # Keyed but stateless after construction: share across
+        # boot-snapshot restores instead of cloning.
+        return self
+
     def compute(self, line: bytes, address: int) -> int:
         if len(line) != CACHELINE_BYTES:
             raise ValueError(f"line must be {CACHELINE_BYTES} bytes")
@@ -165,6 +184,11 @@ class Blake2LineMAC:
         self._key = key
         self._digest_bytes = (mac_bits + 7) // 8
         self._mask = (1 << mac_bits) - 1
+
+    def __deepcopy__(self, memo):
+        # Keyed but stateless after construction: share across
+        # boot-snapshot restores instead of cloning.
+        return self
 
     def compute(self, line: bytes, address: int) -> int:
         if len(line) != CACHELINE_BYTES:
@@ -199,6 +223,11 @@ class PseudoLineMAC:
         self.key_bytes = len(key)
         self._seed = int.from_bytes(key[:4], "little")
         self._mask = (1 << mac_bits) - 1
+
+    def __deepcopy__(self, memo):
+        # Keyed but stateless after construction: share across
+        # boot-snapshot restores instead of cloning.
+        return self
 
     def compute(self, line: bytes, address: int) -> int:
         if len(line) != CACHELINE_BYTES:

@@ -265,6 +265,12 @@ class _TableSet:
         )
         self.apply = eval(f"lambda t, x: {parts}")  # noqa: S307 - static, trusted
 
+    def __reduce__(self):
+        # The compiled ``apply`` lambda and the mix closures cannot be
+        # pickled; tables are pure functions of the cell size, so rebuild
+        # through the memoized factory instead (boot-snapshot support).
+        return (_tables_for, (self.cell_bits,))
+
 
 _TABLE_SETS: Dict[int, _TableSet] = {}
 

@@ -517,27 +517,70 @@ def sweep_id(jobs: Sequence[SimJob]) -> str:
     return digest.hexdigest()[:16]
 
 
+def journal_flush_interval(default: int = 16) -> int:
+    """Journal fsync cadence from ``REPRO_JOURNAL_FLUSH``.
+
+    Every append is still *flushed* (visible to readers immediately);
+    this bounds how many appends may ride between *fsyncs* — the
+    crash-durability knob. ``1`` restores the original fsync-per-append
+    behaviour; :func:`run_jobs` forces that under chaos injection so the
+    torn-tail/resume tests keep exercising worst-case journals. Losing
+    the tail of a journal is always safe: payloads live in the
+    write-through cache, so a resume merely re-reads a few cells it
+    would have skipped. Unset or invalid values fall back to
+    ``default``; values below 1 clamp to 1.
+    """
+    raw = os.environ.get("REPRO_JOURNAL_FLUSH")
+    if not raw:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        return default
+    return max(1, value)
+
+
 class SweepJournal:
     """Append-only JSONL manifest of one sweep's progress.
 
     One file per sweep (named by :func:`sweep_id`) next to the cache:
-    ``<cache root>/journals/<sweep id>.jsonl``. Records are flushed and
-    fsynced per append, so after SIGKILL/OOM the journal is at worst
-    missing its final line — and :meth:`load` tolerates exactly that by
-    discarding a truncated tail. The journal is bookkeeping, not a data
-    store: payloads live in the cache (written through as cells finish),
-    which is what makes ``--resume`` recompute only the missing cells.
+    ``<cache root>/journals/<sweep id>.jsonl``. Records are flushed per
+    append and fsynced at least every ``fsync_interval`` appends
+    (:func:`journal_flush_interval`), so after SIGKILL/OOM the journal
+    is at worst missing a bounded tail — and :meth:`load` tolerates
+    exactly that by discarding a truncated line. The journal is
+    bookkeeping, not a data store: payloads live in the cache (written
+    through as cells finish), which is what makes ``--resume`` recompute
+    only the missing cells.
     """
 
-    def __init__(self, path: pathlib.Path):
+    def __init__(self, path: pathlib.Path, fsync_interval: int = 1):
         self.path = pathlib.Path(path)
+        self.fsync_interval = max(1, fsync_interval)
+        self._handle = None
+        self._unsynced = 0
 
     def append(self, record: Mapping[str, Any]) -> None:
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        with open(self.path, "a", encoding="utf-8") as handle:
-            handle.write(json.dumps(record, sort_keys=True) + "\n")
-            handle.flush()
-            os.fsync(handle.fileno())
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "a", encoding="utf-8")
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+        self._unsynced += 1
+        if self._unsynced >= self.fsync_interval:
+            self.sync()
+
+    def sync(self) -> None:
+        """Force the durability point up to the last append."""
+        if self._handle is not None and self._unsynced:
+            os.fsync(self._handle.fileno())
+        self._unsynced = 0
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self.sync()
+            self._handle.close()
+            self._handle = None
 
     @staticmethod
     def load(path: pathlib.Path) -> List[Dict[str, Any]]:
@@ -1112,14 +1155,16 @@ def run_jobs(
     global _LAST_STATS
     _LAST_STATS = stats
 
-    payloads: List[Optional[Any]] = [None] * len(jobs)
-    done = [False] * len(jobs)
-
     journal: Optional[SweepJournal] = None
     resumable = 0
     if cache is not None and jobs:
         sid = sweep_id(jobs)
-        journal = SweepJournal(cache.root / "journals" / f"{sid}.jsonl")
+        # Chaos campaigns pin fsync-per-append: their torn-tail/resume
+        # assertions are about worst-case (every-record) journals.
+        interval = 1 if active.chaos is not None else journal_flush_interval()
+        journal = SweepJournal(
+            cache.root / "journals" / f"{sid}.jsonl", fsync_interval=interval
+        )
         prior = SweepJournal.load(journal.path)
         if prior and not any(r.get("event") == "sweep_complete" for r in prior):
             resumable = sum(1 for r in prior if r.get("event") == "job_done")
@@ -1138,6 +1183,27 @@ def run_jobs(
                 "ts": time.time(),
             }
         )
+
+    try:
+        return _run_jobs_body(
+            jobs, resolved, active, stats, cache, journal, resumable
+        )
+    finally:
+        if journal is not None:
+            journal.close()
+
+
+def _run_jobs_body(
+    jobs: Sequence[SimJob],
+    resolved: int,
+    active: ExecutionPolicy,
+    stats: "FabricStats",
+    cache: Optional[ResultCache],
+    journal: Optional[SweepJournal],
+    resumable: int,
+) -> List[Any]:
+    payloads: List[Optional[Any]] = [None] * len(jobs)
+    done = [False] * len(jobs)
 
     corrupt_before = cache.corrupt if cache is not None else 0
     if cache is not None:

@@ -142,6 +142,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "functions to stderr when the run finishes",
     )
     parser.add_argument(
+        "--profile-out",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="write the full cProfile dump (pstats format) to FILE when "
+        "the run finishes; implies profiling. Load it with "
+        "'python -m pstats FILE' or snakeviz; CI uploads it as an "
+        "artifact",
+    )
+    parser.add_argument(
         "--campaign",
         type=str,
         default=None,
@@ -276,7 +286,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ValueError:
         pass  # not the main thread (embedded use): leave signals alone
     profiler = None
-    if args.profile:
+    if args.profile or args.profile_out:
         import cProfile
 
         profiler = cProfile.Profile()
@@ -298,9 +308,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             import pstats
 
             profiler.disable()
-            print("\n--profile: top 25 by cumulative time", file=sys.stderr)
-            stats = pstats.Stats(profiler, stream=sys.stderr)
-            stats.sort_stats("cumulative").print_stats(25)
+            if args.profile_out:
+                pstats.Stats(profiler).dump_stats(args.profile_out)
+                print(f"--profile-out: wrote {args.profile_out}", file=sys.stderr)
+            if args.profile:
+                print("\n--profile: top 25 by cumulative time", file=sys.stderr)
+                stats = pstats.Stats(profiler, stream=sys.stderr)
+                stats.sort_stats("cumulative").print_stats(25)
         if previous_sigterm is not None:
             signal.signal(signal.SIGTERM, previous_sigterm)
 

@@ -91,6 +91,38 @@ class ControllerPhysicalPort:
             view = view[take:]
 
 
+class _ShadowWriter:
+    """Per-process page-table store hook feeding the shadow map.
+
+    A module-level callable (not a closure) so booted systems stay
+    picklable for the boot-snapshot disk tier.
+    """
+
+    __slots__ = ("shadow", "pid")
+
+    def __init__(self, shadow: ShadowMap, pid: int):
+        self.shadow = shadow
+        self.pid = pid
+
+    def __call__(
+        self, entry_address: int, value: int, level: int, virtual_address: int
+    ) -> None:
+        if value == 0:
+            self.shadow.forget(entry_address)
+            return
+        leaf = level == LEVELS - 1
+        self.shadow.record(
+            ShadowEntry(
+                pid=self.pid,
+                level=level,
+                entry_address=entry_address,
+                value=value,
+                virtual_address=virtual_address if leaf else None,
+                pfn=X86PageTableEntry(value).pfn if leaf else None,
+            )
+        )
+
+
 @dataclass
 class IntegrityIncident:
     """Record of one PTECheckFailed exception delivered to the kernel."""
@@ -164,29 +196,9 @@ class Kernel:
         self.stats.increment("processes_created")
         return process
 
-    def _shadow_writer(self, pid: int):
+    def _shadow_writer(self, pid: int) -> "_ShadowWriter":
         """Per-process page-table store hook feeding the shadow map."""
-        shadow = self.shadow
-
-        def on_entry_written(
-            entry_address: int, value: int, level: int, virtual_address: int
-        ) -> None:
-            if value == 0:
-                shadow.forget(entry_address)
-                return
-            leaf = level == LEVELS - 1
-            shadow.record(
-                ShadowEntry(
-                    pid=pid,
-                    level=level,
-                    entry_address=entry_address,
-                    value=value,
-                    virtual_address=virtual_address if leaf else None,
-                    pfn=X86PageTableEntry(value).pfn if leaf else None,
-                )
-            )
-
-        return on_entry_written
+        return _ShadowWriter(self.shadow, pid)
 
     def destroy_process(self, process: Process) -> None:
         """Free every frame and table page the process owns."""

@@ -148,14 +148,81 @@ class TestVectorTraceReplay:
         assert tail == [tuple(record) for record in records[cut:]]
         assert vector._rng.getstate() == scalar._rng.getstate()
 
+    @needs_numpy
+    @DERANDOMIZED
+    @given(
+        profile_index=st.integers(min_value=0, max_value=len(WORKLOADS) - 1),
+        seed=st.integers(min_value=0, max_value=1 << 16),
+        n=st.integers(min_value=1, max_value=120),
+    )
+    def test_rewind_to_record_zero_undoes_the_whole_batch(
+        self, profile_index, seed, n
+    ):
+        # rewind_to(0) = "the batch never happened": the generator must
+        # re-emit every record bit-identically to a fresh scalar twin.
+        scalar, vector = _twin_generators(profile_index, seed)
+        replayer = VectorTraceReplayer(vector)
+        replayer.next_batch(n)
+        replayer.rewind_to(0)
+        assert vector._rng.getstate() == scalar._rng.getstate()
+        assert vector._cold_cursor == scalar._cold_cursor
+        redraw = [tuple(vector.next_record()) for _ in range(n)]
+        assert redraw == [tuple(scalar.next_record()) for _ in range(n)]
+
+    @needs_numpy
+    @DERANDOMIZED
+    @given(
+        profile_index=st.integers(min_value=0, max_value=len(WORKLOADS) - 1),
+        seed=st.integers(min_value=0, max_value=1 << 16),
+        n=st.integers(min_value=1, max_value=120),
+    )
+    def test_rewind_after_zero_length_batch(self, profile_index, seed, n):
+        # A zero-length batch consumes nothing; rewinding to its only
+        # boundary (0) must be a no-op, before and after real traffic.
+        scalar, vector = _twin_generators(profile_index, seed)
+        replayer = VectorTraceReplayer(vector)
+        replayer.next_batch(0)
+        replayer.rewind_to(0)
+        assert vector._rng.getstate() == scalar._rng.getstate()
+        stream = [tuple(vector.next_record()) for _ in range(n)]
+        assert stream == [tuple(scalar.next_record()) for _ in range(n)]
+        assert vector._cold_cursor == scalar._cold_cursor
+
+    @needs_numpy
+    @DERANDOMIZED
+    @given(
+        profile_index=st.integers(min_value=0, max_value=len(WORKLOADS) - 1),
+        seed=st.integers(min_value=0, max_value=1 << 16),
+        n=st.integers(min_value=2, max_value=120),
+        data=st.data(),
+    )
+    def test_double_rewind_to_same_boundary_is_idempotent(
+        self, profile_index, seed, n, data
+    ):
+        # Rewinding twice to one boundary (fault handler retried) must
+        # land on exactly the same generator state as rewinding once.
+        scalar, vector = _twin_generators(profile_index, seed)
+        replayer = VectorTraceReplayer(vector)
+        replayer.next_batch(n)
+        cut = data.draw(st.integers(min_value=0, max_value=n - 1), label="cut")
+        replayer.rewind_to(cut)
+        once = (vector._rng.getstate(), vector._cold_cursor)
+        replayer.rewind_to(cut)
+        assert (vector._rng.getstate(), vector._cold_cursor) == once
+        records = [scalar.next_record() for _ in range(n)]
+        tail = [tuple(vector.next_record()) for _ in range(n - cut)]
+        assert tail == [tuple(record) for record in records[cut:]]
+        assert vector._rng.getstate() == scalar._rng.getstate()
+
 
 # -- fused batch execution core ----------------------------------------------
 
 
-def _core_snapshot(batch, mac, workload, mem_ops, warmup):
+def _core_snapshot(batch, mac, workload, mem_ops, warmup, verify_cache_entries=1024):
     with _batch_env(batch):
         config = replace(
-            optimized_ptguard_config(), mac_verify_cache_entries=1024
+            optimized_ptguard_config(),
+            mac_verify_cache_entries=verify_cache_entries,
         )
         system = build_system(ptguard=config, mac_algorithm=mac, seed=2023)
         process, trace = system.workload_process(
@@ -196,6 +263,29 @@ class TestBatchedCore:
     ):
         scalar = _core_snapshot(1, mac, workload, mem_ops, warmup)
         batched = _core_snapshot(batch, mac, workload, mem_ops, warmup)
+        assert batched == scalar
+
+    @needs_numpy
+    def test_qarma_bulk_hints_no_verify_cache_matches_scalar(self):
+        # With the verify cache disabled, mid-batch PTE-line MAC checks
+        # resolve through the bulk-tag hints primed by the batched core;
+        # every counter (including ``computations``) must still match the
+        # scalar walker exactly.
+        scalar = _core_snapshot(
+            1, "qarma", "xalancbmk", 400, 60, verify_cache_entries=0
+        )
+        batched = _core_snapshot(
+            4096, "qarma", "xalancbmk", 400, 60, verify_cache_entries=0
+        )
+        assert batched == scalar
+
+    @needs_numpy
+    def test_walk_heavy_profile_matches_scalar(self):
+        # The synthetic TLB-thrashing profile drives the inline-walk path
+        # hard (nearly every access walks); scalar equivalence here is
+        # the correctness side of the BENCH_hotpath walk-heavy speedup.
+        scalar = _core_snapshot(1, "blake2", "walkheavy", 400, 0)
+        batched = _core_snapshot(4096, "blake2", "walkheavy", 400, 0)
         assert batched == scalar
 
 
