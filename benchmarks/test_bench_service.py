@@ -1,0 +1,167 @@
+"""Service under flood: accepted throughput and fast-fail latency.
+
+A seeded burst of real fig6-cell sweeps from three tenants floods a
+small admission queue on the live (threaded, multi-dispatcher) service.
+The bench measures what the overload machinery costs and guarantees:
+how many submissions per second complete under sustained flood, how
+fast a refused submission learns its fate (shed/reject p95 — the
+"fail fast, never hang" half of the contract), and that every accepted
+submission's results are byte-identical to a quiet serial run.
+
+Writes machine-readable ``BENCH_service.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import shutil
+import tempfile
+import time
+
+from conftest import scale
+
+from repro.analysis.perf_eval import figure6_jobs
+from repro.common.errors import AdmissionRejected
+from repro.harness.parallel import run_jobs
+from repro.service import FabricService, ServiceConfig
+
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+WORKLOADS = ["povray", "xz", "mcf", "lbm"]
+TENANTS = ["alice", "bob", "carol"]
+SUBMISSIONS = 24
+QUEUE_DEPTH = 4
+
+
+def _submission_jobs(index: int, mem_ops: int, warmup: int):
+    """One small, unique fig6 sweep per submission (3 config cells)."""
+    workload = WORKLOADS[index % len(WORKLOADS)]
+    # Distinct mem_ops per submission keeps every sweep's cells unique,
+    # so the flood measures real execution, not cross-submission cache hits.
+    return figure6_jobs([workload], mem_ops + index, warmup)
+
+
+def test_bench_service_flood(once, emit):
+    mem_ops = int(4_000 * scale())
+    warmup = int(2_000 * scale())
+    cache_root = pathlib.Path(tempfile.mkdtemp(prefix="ptguard-bench-svc-"))
+
+    def experiment():
+        config = ServiceConfig(
+            queue_depth=QUEUE_DEPTH,
+            dispatchers=2,
+            rate_capacity=float(SUBMISSIONS),
+            rate_refill_per_s=float(SUBMISSIONS),
+            backend="threaded",
+            workers=2,
+        )
+        service = FabricService(cache_root=cache_root, config=config)
+        tickets = {}
+        rejected_at_submit = 0
+        flood_start = time.perf_counter()
+        try:
+            for index in range(SUBMISSIONS):
+                tenant = TENANTS[index % len(TENANTS)]
+                try:
+                    tickets[index] = service.submit_sweep(
+                        jobs=_submission_jobs(index, mem_ops, warmup),
+                        tenant=tenant,
+                    )
+                except AdmissionRejected:
+                    rejected_at_submit += 1
+            flood_sec = time.perf_counter() - flood_start
+
+            completed, shed = [], 0
+            for index, ticket in tickets.items():
+                try:
+                    service.results(ticket, timeout=600)
+                    completed.append(index)
+                except AdmissionRejected as exc:
+                    assert exc.reason == "shed", exc.reason
+                    shed += 1
+            drain_sec = time.perf_counter() - flood_start
+
+            # Byte-identity spot check: the three accepted submissions
+            # spread across tenants vs quiet serial runs of their jobs.
+            sample = completed[:: max(1, len(completed) // 3)][:3]
+            identical = all(
+                service.results(tickets[index])
+                == run_jobs(_submission_jobs(index, mem_ops, warmup))
+                for index in sample
+            )
+            health = service.health()
+        finally:
+            service.close()
+        return {
+            "flood_sec": flood_sec,
+            "drain_sec": drain_sec,
+            "completed": len(completed),
+            "shed": shed,
+            "rejected_at_submit": rejected_at_submit,
+            "identical": identical,
+            "sampled": len(sample),
+            "counters": health["counters"],
+            "latency": health["latency"],
+        }
+
+    try:
+        result = once(experiment)
+    finally:
+        shutil.rmtree(cache_root, ignore_errors=True)
+
+    throughput = result["completed"] / result["drain_sec"]
+    reject_p95 = result["latency"]["reject"]["p95"]
+    queue_p95 = result["latency"]["queue_wait"]["p95"]
+    run_p95 = result["latency"]["run"]["p95"]
+    emit(
+        "\n".join(
+            [
+                f"Service flood — {SUBMISSIONS} fig6-cell sweeps from "
+                f"{len(TENANTS)} tenants into a depth-{QUEUE_DEPTH} queue "
+                f"(REPRO_SCALE={scale():g})",
+                "",
+                f"{'accepted throughput':<28} {throughput:>8.2f} sweeps/s",
+                f"{'completed / shed / rejected':<28} "
+                f"{result['completed']:>3} / {result['shed']} / "
+                f"{result['rejected_at_submit']}",
+                f"{'submit burst (all 24)':<28} {result['flood_sec']:>8.3f} s",
+                f"{'shed/reject fast-fail p95':<28} {reject_p95 * 1e3:>8.3f} ms",
+                f"{'queue wait p95':<28} {queue_p95:>8.3f} s",
+                f"{'sweep run p95':<28} {run_p95:>8.3f} s",
+                "",
+                f"accepted results byte-identical to serial "
+                f"({result['sampled']} sampled): {result['identical']}",
+            ]
+        )
+    )
+
+    payload = {
+        "repro_scale": scale(),
+        "submissions": SUBMISSIONS,
+        "queue_depth": QUEUE_DEPTH,
+        "tenants": TENANTS,
+        "mem_ops": mem_ops,
+        "completed": result["completed"],
+        "shed": result["shed"],
+        "rejected_at_submit": result["rejected_at_submit"],
+        "accepted_throughput_sweeps_per_s": throughput,
+        "flood_submit_sec": result["flood_sec"],
+        "drain_sec": result["drain_sec"],
+        "shed_reject_p95_s": reject_p95,
+        "queue_wait_p95_s": queue_p95,
+        "run_p95_s": run_p95,
+        "counters": result["counters"],
+        "sampled_identical": result["identical"],
+    }
+    (REPO_ROOT / "BENCH_service.json").write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+
+    # Host-independent properties (always asserted).
+    assert result["identical"], "an accepted sweep diverged from serial"
+    assert result["completed"] >= 1, "the flood starved every submission"
+    assert (
+        result["completed"] + result["shed"] + result["rejected_at_submit"]
+        == SUBMISSIONS
+    ), "every submission must resolve: done, shed or typed-rejected"
+    assert result["counters"]["completed"] == result["completed"]

@@ -128,3 +128,66 @@ class RetryBudgetExceededError(SimJobError):
     """
 
     transient = False
+
+
+# -- service-layer failures (repro.service) -----------------------------------
+#
+# The multi-tenant fabric service sits one layer above the executor
+# backends. Its failure model is HTTP-shaped on purpose: admission
+# control answers "503, retry later" (AdmissionRejected, CircuitOpenError
+# — both carry ``retry_after_s`` hints and map to exit code 75 /
+# EX_TEMPFAIL at the CLI), while submission-lifecycle errors
+# (SubmissionNotFound, SubmissionCancelled) are caller mistakes or
+# explicit operator actions, never overload signals.
+
+
+class ServiceError(PTGuardError):
+    """Base class for fabric-service failures (repro.service)."""
+
+
+class AdmissionRejected(ServiceError):
+    """The service refused (or shed) a sweep submission — a typed 503.
+
+    Raised synchronously at submit time (tenant over its token-bucket
+    rate, queue full with this tenant the heaviest, service shutting
+    down) or recorded on an already-queued submission that lost its slot
+    to load-shedding. ``reason`` is a stable machine-readable tag
+    (``rate_limited`` / ``queue_full`` / ``shed`` / ``shutdown``);
+    ``retry_after_s`` is a hint, None when retrying cannot help (e.g. a
+    zero-capacity bucket or a closed service).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        tenant: str = "",
+        reason: str = "overload",
+        retry_after_s=None,
+    ):
+        self.tenant = tenant
+        self.reason = reason
+        self.retry_after_s = retry_after_s
+        super().__init__(message)
+
+
+class CircuitOpenError(ServiceError):
+    """A backend's circuit breaker is open and degraded fallback is off.
+
+    With fallback enabled (the default) an open breaker silently reroutes
+    sweeps to the in-process backend instead; this error only surfaces
+    when the operator asked for fail-fast behaviour. ``retry_after_s``
+    is the breaker's remaining cooldown.
+    """
+
+    def __init__(self, message: str, backend: str = "", retry_after_s=None):
+        self.backend = backend
+        self.retry_after_s = retry_after_s
+        super().__init__(message)
+
+
+class SubmissionNotFound(ServiceError):
+    """No submission with this ticket exists (bad or expired ticket)."""
+
+
+class SubmissionCancelled(ServiceError):
+    """The submission was cancelled before it produced results."""

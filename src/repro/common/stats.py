@@ -13,6 +13,7 @@ handle for callers that want an object-style counter.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, Iterator
 
@@ -167,6 +168,62 @@ class TaxonomyCounter:
     def __repr__(self) -> str:
         inner = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
         return f"TaxonomyCounter({self.name}: {inner})"
+
+
+class LatencyRecorder:
+    """Samples + order statistics for service latency accounting.
+
+    Collects float samples (seconds) and answers nearest-rank
+    percentiles; used by the fabric service for queue-wait / shed / run
+    latencies and by ``BENCH_service.json``. Not a histogram: sample
+    counts here are small (one per submission), so keeping the raw
+    values and sorting on demand is both exact and cheap.
+    """
+
+    __slots__ = ("name", "_samples", "_sorted")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._samples: list = []
+        self._sorted = True
+
+    def record(self, seconds: float) -> None:
+        self._samples.append(float(seconds))
+        self._sorted = False
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile (p in [0, 100]); 0.0 when empty."""
+        if not self._samples:
+            return 0.0
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile {p} outside [0, 100]")
+        if not self._sorted:
+            self._samples.sort()
+            self._sorted = True
+        rank = max(1, math.ceil(p / 100.0 * self.count))
+        return self._samples[min(self.count, rank) - 1]
+
+    def summary(self) -> Dict[str, float]:
+        """{count, p50, p95, max} — zeros when no samples recorded."""
+        if not self._samples:
+            return {"count": 0, "p50": 0.0, "p95": 0.0, "max": 0.0}
+        return {
+            "count": self.count,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "max": max(self._samples),
+        }
+
+    def __repr__(self) -> str:
+        s = self.summary()
+        return (
+            f"LatencyRecorder({self.name}: n={s['count']} "
+            f"p50={s['p50']:.4g}s p95={s['p95']:.4g}s max={s['max']:.4g}s)"
+        )
 
 
 def ratio(numerator: int, denominator: int) -> float:

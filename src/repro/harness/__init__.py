@@ -2,14 +2,20 @@
 
 from repro.harness.chaos import ChaosPolicy
 from repro.harness.parallel import (
+    BACKENDS,
     ExecutionPolicy,
+    ExecutorBackend,
     FabricStats,
+    InProcessBackend,
+    ProcessPoolBackend,
     ResultCache,
     SimJob,
     SimJobError,
     SweepJournal,
+    ThreadedLocalBackend,
     default_workers,
     execution_policy,
+    get_backend,
     last_run_stats,
     run_jobs,
     set_execution_policy,
@@ -19,15 +25,21 @@ from repro.harness.system import System, build_system
 __all__ = [
     "System",
     "build_system",
+    "BACKENDS",
     "ChaosPolicy",
     "ExecutionPolicy",
+    "ExecutorBackend",
     "FabricStats",
+    "InProcessBackend",
+    "ProcessPoolBackend",
     "ResultCache",
     "SimJob",
     "SimJobError",
     "SweepJournal",
+    "ThreadedLocalBackend",
     "default_workers",
     "execution_policy",
+    "get_backend",
     "last_run_stats",
     "run_jobs",
     "set_execution_policy",

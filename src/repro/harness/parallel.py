@@ -25,6 +25,21 @@ Pieces:
   degradation to in-process serial execution when the pool itself keeps
   failing. A job that raises anywhere surfaces as a
   :class:`SimJobError` carrying the worker traceback — never a hang.
+* :class:`ExecutorBackend` — *how* the missing cells actually execute,
+  behind one contract: :class:`InProcessBackend` (serial, the degraded
+  path), :class:`ProcessPoolBackend` (the supervised pool above) and
+  :class:`ThreadedLocalBackend` (a thread pool, built for embedding many
+  concurrent sweeps in one process — the fabric service). ``run_jobs``
+  picks one automatically from ``workers``, or callers name one
+  explicitly (``backend=``, ``ExecutionPolicy.backend``,
+  ``REPRO_BACKEND``). Reports are byte-identical across all three; the
+  conformance suite (``tests/test_backend_conformance.py``) enforces it.
+
+Execution policy and per-run stats are **context-local**
+(:mod:`contextvars`), not process-global: concurrent sweeps — two
+service tenants on different dispatcher threads, a nested sweep inside a
+job — each see their own :class:`ExecutionPolicy` and
+:func:`last_run_stats`, never each other's.
 * :class:`ResultCache` — an on-disk, content-addressed store of encoded
   results keyed by :meth:`SimJob.key`. Any change to the config, the
   workload, the op counts, the seed or :data:`CACHE_SCHEMA_VERSION`
@@ -47,6 +62,7 @@ Deterministic fault injection for all of the above lives in
 from __future__ import annotations
 
 import contextlib
+import contextvars
 import hashlib
 import json
 import logging
@@ -54,6 +70,7 @@ import multiprocessing
 import os
 import pathlib
 import queue as queue_module
+import threading
 import time
 import traceback
 from collections import deque
@@ -68,6 +85,7 @@ from typing import (
     Optional,
     Sequence,
     Tuple,
+    Union,
 )
 
 from repro.common.errors import (
@@ -622,7 +640,9 @@ class ExecutionPolicy:
     warning. ``chaos`` is a :class:`repro.harness.chaos.ChaosPolicy`
     for deterministic fault injection; ``resume`` marks an explicitly
     resumed run (journal bookkeeping only — cached cells are reused
-    either way).
+    either way). ``backend`` names an executor backend (a
+    :data:`BACKENDS` key) to force for every sweep under this policy;
+    None keeps the automatic workers-based choice.
     """
 
     timeout_s: Optional[float] = None
@@ -633,12 +653,24 @@ class ExecutionPolicy:
     max_worker_restarts: Optional[int] = None
     chaos: Optional[Any] = None
     resume: bool = False
+    backend: Optional[str] = None
 
     @classmethod
     def from_env(cls) -> "ExecutionPolicy":
         """Defaults, overridden by REPRO_TIMEOUT / REPRO_RETRIES /
-        REPRO_CHAOS where set (unparsable values warn and are ignored)."""
+        REPRO_CHAOS / REPRO_BACKEND where set (unparsable values warn
+        and are ignored)."""
         policy = cls()
+        backend = os.environ.get("REPRO_BACKEND")
+        if backend:
+            if backend in BACKENDS:
+                policy.backend = backend
+            else:
+                logger.warning(
+                    "ignoring unknown REPRO_BACKEND=%r (choose from %s)",
+                    backend,
+                    ", ".join(sorted(BACKENDS)),
+                )
         timeout = os.environ.get("REPRO_TIMEOUT")
         if timeout:
             try:
@@ -662,36 +694,48 @@ class ExecutionPolicy:
         return policy
 
 
-_POLICY: Optional[ExecutionPolicy] = None
+# Context-local, not process-global: each thread (and each copied
+# context, e.g. a service dispatcher) resolves its own default policy,
+# so two concurrent sweeps in one process can never observe each other's
+# timeouts, chaos injection or backend choice. A fresh context lazily
+# re-reads the environment, which is exactly the old process-global
+# cold-start behaviour.
+_POLICY_VAR: contextvars.ContextVar[Optional[ExecutionPolicy]] = (
+    contextvars.ContextVar("repro_execution_policy", default=None)
+)
 
 
 def get_execution_policy() -> ExecutionPolicy:
-    global _POLICY
-    if _POLICY is None:
-        _POLICY = ExecutionPolicy.from_env()
-    return _POLICY
+    policy = _POLICY_VAR.get()
+    if policy is None:
+        policy = ExecutionPolicy.from_env()
+        _POLICY_VAR.set(policy)
+    return policy
 
 
 def set_execution_policy(policy: Optional[ExecutionPolicy]) -> None:
-    """Install the process-wide default policy (None re-reads the env)."""
-    global _POLICY
-    _POLICY = policy
+    """Install the context-local default policy (None re-reads the env).
+
+    Context-local means per thread / per :mod:`contextvars` context:
+    setting a policy on one service dispatcher thread leaves every other
+    sweep's policy untouched.
+    """
+    _POLICY_VAR.set(policy)
 
 
 @contextlib.contextmanager
 def execution_policy(policy: ExecutionPolicy) -> Iterator[ExecutionPolicy]:
-    """Temporarily install ``policy`` as the process-wide default."""
-    previous = get_execution_policy()
-    set_execution_policy(policy)
+    """Temporarily install ``policy`` as this context's default."""
+    token = _POLICY_VAR.set(policy)
     try:
         yield policy
     finally:
-        set_execution_policy(previous)
+        _POLICY_VAR.reset(token)
 
 
 @dataclass
 class FabricStats:
-    """Observability for the last :func:`run_jobs` call (per process)."""
+    """Observability for the last :func:`run_jobs` call (per context)."""
 
     jobs: int = 0
     cached: int = 0
@@ -715,12 +759,21 @@ class FabricStats:
         )
 
 
-_LAST_STATS = FabricStats()
+_STATS_VAR: contextvars.ContextVar[Optional[FabricStats]] = (
+    contextvars.ContextVar("repro_last_run_stats", default=None)
+)
 
 
 def last_run_stats() -> FabricStats:
-    """Stats of the most recent run_jobs call in this process."""
-    return _LAST_STATS
+    """Stats of the most recent run_jobs call in this context.
+
+    Context-local like the execution policy: a sweep running on another
+    thread (another service tenant, a nested sweep) never overwrites the
+    stats this caller is about to read. A context that has not run any
+    sweep yet reads all-zero stats.
+    """
+    stats = _STATS_VAR.get()
+    return stats if stats is not None else FabricStats()
 
 
 # -- execution ----------------------------------------------------------------
@@ -1129,11 +1182,283 @@ def _run_missing_pooled(
         result_queue.cancel_join_thread()
 
 
+# -- executor backends --------------------------------------------------------
+#
+# One contract, three carriers. ``run_jobs`` stays the only public
+# entry point; a backend only decides *where* the missing cells execute
+# (calling process, supervised process pool, thread pool), never what
+# they mean — caching, journaling, resume and report assembly are all
+# upstream of it, which is why reports are byte-identical across
+# backends (tests/test_backend_conformance.py).
+
+
+class ExecutorBackend:
+    """How a list of missing ``(index, job)`` pairs actually executes.
+
+    Contract (enforced for every implementation by the conformance
+    suite):
+
+    * :meth:`run` executes every pair and calls
+      ``complete(index, job, encoded_payload, attempt)`` exactly once
+      per job, in any order. ``complete`` is not thread-safe — backends
+      with internal concurrency must serialize calls to it.
+    * Failures surface as the :class:`SimJobError` taxonomy: transient
+      faults (crash/timeout, including chaos-injected ones) are retried
+      under ``policy.retries`` with exponential backoff; permanent
+      faults raise immediately with the job traceback attached.
+    * A backend whose carrier infrastructure collapses raises
+      :class:`_PoolBroken` carrying the unfinished pairs, so
+      :func:`run_jobs` can degrade to :class:`InProcessBackend`.
+    """
+
+    name = "abstract"
+
+    def __init__(self, workers: Optional[int] = None):
+        self.workers = workers
+
+    def run(
+        self,
+        missing: Sequence[Tuple[int, SimJob]],
+        policy: ExecutionPolicy,
+        stats: FabricStats,
+        complete: Callable[[int, SimJob, Any, int], None],
+    ) -> None:
+        raise NotImplementedError
+
+    def pool_size(self, missing_count: int) -> int:
+        return max(1, min(self.workers or default_workers(), missing_count))
+
+
+class InProcessBackend(ExecutorBackend):
+    """Serial in-the-calling-process execution — the degraded path.
+
+    No carrier to crash and nothing to kill, so the kill/delay chaos
+    channels do not apply here (cache corruption still does, through
+    ``complete``'s write-through path) and permanent failures raise
+    immediately. This is both the ``workers=1`` debug path and the
+    backend every degradation ladder bottoms out on.
+    """
+
+    name = "inprocess"
+
+    def run(self, missing, policy, stats, complete):
+        _run_missing_serial(missing, complete)
+
+
+class ProcessPoolBackend(ExecutorBackend):
+    """The supervised multiprocessing pool (the historical parallel path).
+
+    Real process isolation: per-cell wall-clock deadlines enforced by
+    killing hung workers, crash detection by exit code, chunked dispatch
+    (``REPRO_JOB_BATCH``) and the pinned start-method chain. The one
+    backend that survives a genuinely hung or memory-exploding job.
+    """
+
+    name = "process-pool"
+
+    def run(self, missing, policy, stats, complete):
+        _run_missing_pooled(
+            missing, self.pool_size(len(missing)), policy, stats, complete
+        )
+
+
+class ThreadedLocalBackend(ExecutorBackend):
+    """Thread-pool execution inside the calling process.
+
+    Built for embedding: the fabric service (:mod:`repro.service`) runs
+    many concurrent sweeps in one process, where a process pool per
+    sweep would multiply fork cost and an in-process serial run would
+    serialize tenants. Jobs execute on plain threads — no pickling, so
+    job kinds registered at runtime are always visible, and because
+    policy/stats are context-local, concurrent sweeps on sibling threads
+    stay fully isolated.
+
+    Fault model: threads cannot be SIGKILLed or preempted, so the
+    kill/delay chaos channels are *simulated* — a kill verdict raises
+    :class:`WorkerCrashError` as if the carrier died and a delay verdict
+    raises :class:`JobTimeoutError` as if the deadline fired (first
+    attempt only, exactly like the process pool) — and retried under the
+    same budget/backoff. ``timeout_s`` is consequently advisory here: a
+    genuinely hung job hangs its thread, so use the process-pool backend
+    when job code cannot be trusted to return. Everything else —
+    taxonomy, retry accounting, write-through caching, journaling,
+    report bytes — is identical to the other backends.
+    """
+
+    name = "threaded"
+
+    def run(self, missing, policy, stats, complete):
+        chaos = policy.chaos
+        cond = threading.Condition()
+        pending: deque = deque((index, job, 0) for index, job in missing)
+        state = {"outstanding": len(missing), "completions": 0}
+        failures: List[BaseException] = []
+
+        def fail(error: BaseException) -> None:
+            with cond:
+                failures.append(error)
+                cond.notify_all()
+
+        def finish(index: int, job: SimJob, payload: Any, attempt: int) -> None:
+            with cond:
+                if failures:
+                    return
+                try:
+                    complete(index, job, payload, attempt)
+                except BaseException as exc:
+                    failures.append(exc)
+                    cond.notify_all()
+                    return
+                state["outstanding"] -= 1
+                state["completions"] += 1
+                if (
+                    chaos is not None
+                    and chaos.abort_after is not None
+                    and state["completions"] >= chaos.abort_after
+                ):
+                    failures.append(
+                        KeyboardInterrupt(
+                            f"chaos: abort after {state['completions']} completions"
+                        )
+                    )
+                cond.notify_all()
+
+        def handle_transient(index, job, attempt, exc) -> bool:
+            """Account + reschedule; False once the budget is gone."""
+            with cond:
+                if isinstance(exc, JobTimeoutError):
+                    stats.timeouts += 1
+                else:
+                    stats.crashes += 1
+                if attempt >= policy.retries:
+                    budget = RetryBudgetExceededError(
+                        f"job {job.describe()} failed {attempt + 1} "
+                        f"attempt(s); retry budget ({policy.retries}) exhausted"
+                    )
+                    budget.__cause__ = exc
+                    failures.append(budget)
+                    cond.notify_all()
+                    return False
+                stats.retries += 1
+            backoff = min(
+                policy.backoff_cap_s, policy.backoff_base_s * (2**attempt)
+            )
+            logger.warning(
+                "%s -- retrying in %.2gs (attempt %d of %d)",
+                exc,
+                backoff,
+                attempt + 2,
+                policy.retries + 1,
+            )
+            if backoff > 0:
+                time.sleep(backoff)
+            with cond:
+                pending.append((index, job, attempt + 1))
+                cond.notify_all()
+            return True
+
+        def worker() -> None:
+            while True:
+                with cond:
+                    while (
+                        not pending and state["outstanding"] > 0 and not failures
+                    ):
+                        cond.wait(_POLL_INTERVAL_S)
+                    if failures or state["outstanding"] <= 0:
+                        return
+                    index, job, attempt = pending.popleft()
+                try:
+                    if chaos is not None and attempt == 0:
+                        from repro.harness.chaos import simulated_thread_fault
+
+                        fault = simulated_thread_fault(
+                            chaos, job, policy.timeout_s
+                        )
+                        if fault is not None:
+                            raise fault
+                    payload = execute_job(job)
+                except SimJobError as exc:
+                    if not exc.transient:
+                        fail(exc)
+                        return
+                    if not handle_transient(index, job, attempt, exc):
+                        return
+                    continue
+                except Exception:
+                    fail(
+                        JobExecutionError(
+                            _format_job_failure(
+                                job.kind,
+                                dict(job.params),
+                                job.label,
+                                traceback.format_exc(),
+                            )
+                        )
+                    )
+                    return
+                finish(index, job, payload, attempt)
+
+        threads = [
+            threading.Thread(
+                target=worker, name=f"repro-exec-{slot}", daemon=True
+            )
+            for slot in range(self.pool_size(len(missing)))
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if failures:
+            raise failures[0]
+
+
+BACKENDS: Dict[str, Callable[..., ExecutorBackend]] = {
+    InProcessBackend.name: InProcessBackend,
+    ProcessPoolBackend.name: ProcessPoolBackend,
+    ThreadedLocalBackend.name: ThreadedLocalBackend,
+}
+
+
+def get_backend(name: str, workers: Optional[int] = None) -> ExecutorBackend:
+    """Instantiate a backend by :data:`BACKENDS` name.
+
+    Raises :class:`ConfigurationError` on unknown names, listing the
+    valid ones — the same one-line-error idiom the runner uses for
+    unknown workloads and scenarios.
+    """
+    try:
+        factory = BACKENDS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown executor backend {name!r} "
+            f"(choose from {', '.join(sorted(BACKENDS))})"
+        ) from None
+    return factory(workers=workers)
+
+
+def _resolve_backend(
+    backend: Optional[Union[str, ExecutorBackend]],
+    policy: ExecutionPolicy,
+    resolved_workers: int,
+    missing_count: int,
+) -> ExecutorBackend:
+    """Pick the executor: explicit arg > policy.backend > workers-based."""
+    if isinstance(backend, ExecutorBackend):
+        return backend
+    name = backend if backend is not None else policy.backend
+    if name is not None:
+        return get_backend(name, workers=resolved_workers)
+    if resolved_workers <= 1 or missing_count == 1:
+        return InProcessBackend()
+    return ProcessPoolBackend(workers=resolved_workers)
+
+
 def run_jobs(
     jobs: Sequence[SimJob],
     workers: Optional[int] = None,
     cache: Optional[ResultCache] = None,
     policy: Optional[ExecutionPolicy] = None,
+    backend: Optional[Union[str, ExecutorBackend]] = None,
 ) -> List[Any]:
     """Execute ``jobs`` and return decoded results in job order.
 
@@ -1143,17 +1468,19 @@ def run_jobs(
     back *as they finish* (write-through), next to an append-only
     :class:`SweepJournal` — which is what makes an interrupted sweep
     resumable with only the missing cells recomputed. ``policy``
-    (default: the process-wide :func:`get_execution_policy`) controls
+    (default: the context-local :func:`get_execution_policy`) controls
     timeouts, the transient-retry budget, serial fallback and chaos
-    injection. The returned objects are identical across every path —
-    serial, pooled, retried, resumed or cached — because all of them
-    round-trip through the job kind's encode/decode pair.
+    injection. ``backend`` forces a specific executor — a
+    :data:`BACKENDS` name or an :class:`ExecutorBackend` instance —
+    overriding both ``policy.backend`` and the automatic workers-based
+    choice. The returned objects are identical across every path —
+    serial, pooled, threaded, retried, resumed or cached — because all
+    of them round-trip through the job kind's encode/decode pair.
     """
     resolved = default_workers() if workers is None else max(1, workers)
     active = policy if policy is not None else get_execution_policy()
     stats = FabricStats(jobs=len(jobs))
-    global _LAST_STATS
-    _LAST_STATS = stats
+    _STATS_VAR.set(stats)
 
     journal: Optional[SweepJournal] = None
     resumable = 0
@@ -1186,7 +1513,7 @@ def run_jobs(
 
     try:
         return _run_jobs_body(
-            jobs, resolved, active, stats, cache, journal, resumable
+            jobs, resolved, active, stats, cache, journal, resumable, backend
         )
     finally:
         if journal is not None:
@@ -1201,6 +1528,7 @@ def _run_jobs_body(
     cache: Optional[ResultCache],
     journal: Optional[SweepJournal],
     resumable: int,
+    backend: Optional[Union[str, ExecutorBackend]] = None,
 ) -> List[Any]:
     payloads: List[Optional[Any]] = [None] * len(jobs)
     done = [False] * len(jobs)
@@ -1242,26 +1570,24 @@ def _run_jobs_body(
             )
 
     if missing:
-        if resolved <= 1 or len(missing) == 1:
-            _run_missing_serial(missing, complete)
-        else:
-            pool_size = min(resolved, len(missing))
-            try:
-                _run_missing_pooled(missing, pool_size, active, stats, complete)
-            except _PoolBroken as broken:
-                if not active.fallback_serial:
-                    raise WorkerCrashError(
-                        f"worker pool degraded ({broken.reason}) and serial "
-                        "fallback is disabled"
-                    ) from None
-                stats.degraded = True
-                logger.warning(
-                    "worker pool degraded (%s) -- falling back to in-process "
-                    "serial execution for the %d remaining job(s)",
-                    broken.reason,
-                    len(broken.remaining),
-                )
-                _run_missing_serial(broken.remaining, complete)
+        chosen = _resolve_backend(backend, active, resolved, len(missing))
+        try:
+            chosen.run(missing, active, stats, complete)
+        except _PoolBroken as broken:
+            if not active.fallback_serial:
+                raise WorkerCrashError(
+                    f"{chosen.name} backend degraded ({broken.reason}) and "
+                    "serial fallback is disabled"
+                ) from None
+            stats.degraded = True
+            logger.warning(
+                "%s backend degraded (%s) -- falling back to in-process "
+                "serial execution for the %d remaining job(s)",
+                chosen.name,
+                broken.reason,
+                len(broken.remaining),
+            )
+            InProcessBackend().run(broken.remaining, active, stats, complete)
 
     if journal is not None:
         journal.append(

@@ -16,6 +16,17 @@ written through to the cache and journaled as they finish, so only the
 missing cells are recomputed and the final report bytes are identical
 to an uninterrupted run. ``--chaos`` injects deterministic faults for
 testing (see :mod:`repro.harness.chaos`).
+
+Service mode: ``--serve`` routes the experiment(s) through an embedded
+:class:`repro.service.FabricService` — per-tenant result caches
+(``--tenant``), token-bucket admission (``--rate CAP:REFILL``), a
+bounded queue (``--queue-depth``) and a circuit breaker over the chosen
+executor backend (``--backend``, ``--breaker-threshold``,
+``--no-degraded``). When admission control refuses the work (rate
+limit, full queue, open circuit with fallback disabled) the runner
+exits with code 75 — EX_TEMPFAIL, the sysexits convention for "try
+again later" — and prints the retry hint; transient overload is
+distinguishable from real experiment failures (exit 1) in scripts.
 """
 
 from __future__ import annotations
@@ -152,6 +163,60 @@ def _build_parser() -> argparse.ArgumentParser:
         "artifact",
     )
     parser.add_argument(
+        "--serve",
+        action="store_true",
+        help="run the experiment(s) through the embedded multi-tenant "
+        "fabric service (admission control, per-tenant caches, circuit "
+        "breaker); overload exits 75 (EX_TEMPFAIL) with a retry hint",
+    )
+    parser.add_argument(
+        "--tenant",
+        type=str,
+        default="default",
+        metavar="NAME",
+        help="tenant id for --serve: results land in this tenant's "
+        "private cache subtree (default: 'default')",
+    )
+    parser.add_argument(
+        "--queue-depth",
+        type=int,
+        default=8,
+        metavar="N",
+        help="--serve admission-queue depth (default: 8)",
+    )
+    parser.add_argument(
+        "--rate",
+        type=str,
+        default=None,
+        metavar="CAP:REFILL",
+        help="--serve per-tenant token bucket: burst capacity and "
+        "refill per second, e.g. '4:1' (default: 4:1; '0:0' blocks "
+        "the tenant, exiting 75)",
+    )
+    parser.add_argument(
+        "--backend",
+        type=str,
+        default=None,
+        metavar="NAME",
+        help="executor backend: inprocess, process-pool or threaded "
+        "(default: REPRO_BACKEND, or automatic by worker count; "
+        "--serve defaults to threaded)",
+    )
+    parser.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=3,
+        metavar="N",
+        help="--serve circuit breaker: consecutive transient backend "
+        "failures before the circuit opens (default: 3)",
+    )
+    parser.add_argument(
+        "--no-degraded",
+        action="store_true",
+        help="--serve fail-fast mode: an open circuit rejects work "
+        "(exit 75) instead of degrading to in-process execution",
+    )
+    parser.add_argument(
         "--campaign",
         type=str,
         default=None,
@@ -206,6 +271,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             policy.chaos = ChaosPolicy.from_spec(args.chaos)
         except ValueError as exc:
             parser.error(f"--chaos: {exc}")
+    if args.backend is not None:
+        from repro.harness.parallel import BACKENDS
+
+        if args.backend not in BACKENDS:
+            parser.error(
+                f"--backend: unknown backend {args.backend!r} "
+                f"(choose from {', '.join(sorted(BACKENDS))})"
+            )
+        policy.backend = args.backend
 
     workload_subset = (
         [name.strip() for name in args.workloads.split(",") if name.strip()]
@@ -272,6 +346,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         # Through the environment so pool workers inherit it too.
         os.environ["REPRO_BATCH"] = str(args.batch_size)
 
+    if args.serve and args.no_cache:
+        parser.error("--serve stores results in per-tenant caches (drop --no-cache)")
+    if args.rate is not None and not args.serve:
+        parser.error("--rate only applies with --serve")
+
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     timings = {}
@@ -292,6 +371,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         profiler = cProfile.Profile()
         profiler.enable()
     try:
+        if args.serve:
+            return _run_service(args, parser, policy, names, workload_subset)
         with execution_policy(policy):
             return _run_experiments(
                 args, cache, names, timings, failures, workload_subset,
@@ -317,6 +398,120 @@ def main(argv: Optional[List[str]] = None) -> int:
                 stats.sort_stats("cumulative").print_stats(25)
         if previous_sigterm is not None:
             signal.signal(signal.SIGTERM, previous_sigterm)
+
+
+EX_TEMPFAIL = 75
+"""Exit code for transient service-side refusals (sysexits EX_TEMPFAIL).
+
+Admission control saying "not now" — a rate-limited tenant, a full
+queue, an open circuit with degraded fallback disabled — is not an
+experiment failure (exit 1) and not a usage error (exit 2): the same
+command retried later is expected to succeed. Scripts and CI retry
+loops key off this code; the stderr message carries the typed reason
+and, when the service can estimate one, a retry-after hint.
+"""
+
+
+def _parse_rate(raw: Optional[str], parser) -> tuple:
+    """``CAP:REFILL`` -> (capacity, refill_per_s); default (4, 1)."""
+    if raw is None:
+        return 4.0, 1.0
+    capacity, separator, refill = raw.partition(":")
+    try:
+        if not separator:
+            raise ValueError
+        values = float(capacity), float(refill)
+        if values[0] < 0 or values[1] < 0:
+            raise ValueError
+        return values
+    except ValueError:
+        parser.error(f"--rate: want CAP:REFILL with non-negative numbers, got {raw!r}")
+
+
+def _run_service(args, parser, policy, names, workload_subset) -> int:
+    """--serve: submit the experiment(s) through the embedded service.
+
+    One FabricService per invocation; each experiment becomes one
+    tracked submission under ``--tenant``. Overload (AdmissionRejected /
+    CircuitOpenError) exits EX_TEMPFAIL with the retry hint on stderr;
+    experiment failures keep exiting 1 as in direct mode.
+    """
+    from repro.common.errors import AdmissionRejected, CircuitOpenError
+    from repro.harness.parallel import default_cache_dir
+    from repro.service import FabricService, ServiceConfig
+
+    rate_capacity, rate_refill = _parse_rate(args.rate, parser)
+    config = ServiceConfig(
+        queue_depth=max(1, args.queue_depth),
+        dispatchers=1,
+        rate_capacity=rate_capacity,
+        rate_refill_per_s=rate_refill,
+        breaker_threshold=max(1, args.breaker_threshold),
+        backend=args.backend or "threaded",
+        workers=args.workers if args.workers else 2,
+        allow_degraded=not args.no_degraded,
+    )
+    cache_root = args.cache_dir if args.cache_dir is not None else default_cache_dir()
+    failures: List[str] = []
+    service = FabricService(cache_root=cache_root, config=config)
+    try:
+        for name in names:
+            kwargs = {"scale": args.scale}
+            if workload_subset is not None:
+                kwargs["workloads"] = workload_subset
+            try:
+                ticket = service.submit_sweep(
+                    experiment=name,
+                    tenant=args.tenant,
+                    policy=policy,
+                    **kwargs,
+                )
+                report = service.results(ticket)
+            except (AdmissionRejected, CircuitOpenError) as exc:
+                _report_tempfail(name, exc)
+                return EX_TEMPFAIL
+            except PTGuardError as exc:
+                failures.append(name)
+                print(f"error: experiment {name!r} failed: {exc}", file=sys.stderr)
+                continue
+            print(report)
+            view = service.status(ticket)
+            print(
+                f"[{name} service: tenant={view['tenant']} "
+                f"backend={view['backend']} degraded={view['degraded']}]",
+                file=sys.stderr,
+            )
+            print()
+        health = service.health()
+        print(
+            f"[service health: {health['status']}, "
+            f"counters={health['counters']}]",
+            file=sys.stderr,
+        )
+    finally:
+        service.close()
+    if failures:
+        print(
+            f"{len(failures)} experiment(s) failed: {', '.join(failures)}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _report_tempfail(name: str, exc) -> None:
+    reason = getattr(exc, "reason", None) or "circuit_open"
+    retry_after = getattr(exc, "retry_after_s", None)
+    hint = (
+        f"; retry in {retry_after:.1f}s"
+        if isinstance(retry_after, (int, float))
+        else "; retry later"
+    )
+    print(
+        f"temporarily unavailable ({reason}): experiment {name!r} was "
+        f"refused -- {exc}{hint} [exit {EX_TEMPFAIL} = EX_TEMPFAIL]",
+        file=sys.stderr,
+    )
 
 
 class _Terminated(Exception):

@@ -1,0 +1,60 @@
+"""Overload-safe, multi-tenant campaign service over the experiment fabric.
+
+Public surface:
+
+* :class:`FabricService` / :class:`AsyncFabricService` — submit_sweep /
+  status / results / cancel / health / ready over the pluggable
+  executor backends, with typed admission control.
+* :class:`ServiceConfig` — operator knobs (queue depth, per-tenant
+  rates, breaker thresholds, primary backend, degraded-fallback mode).
+* :func:`tenant_cache` / :func:`validate_tenant` — per-tenant
+  namespacing of the content-addressed result cache.
+* :class:`TokenBucket` / :class:`AdmissionQueue` /
+  :class:`CircuitBreaker` — the admission primitives, clock-injectable
+  for deterministic tests.
+* :class:`JournalTail` — monotone streaming progress from sweep
+  journals.
+* :class:`ServiceChaosPolicy` / :func:`flood_plan` /
+  :func:`killed_policy` — deterministic service-level chaos scenarios.
+"""
+
+from repro.service.admission import AdmissionQueue, TokenBucket
+from repro.service.breaker import CircuitBreaker
+from repro.service.chaos import (
+    FloodEntry,
+    ServiceChaosPolicy,
+    flood_plan,
+    killed_policy,
+)
+from repro.service.core import (
+    AsyncFabricService,
+    FabricService,
+    ServiceConfig,
+    Submission,
+)
+from repro.service.progress import JournalTail
+from repro.service.tenancy import (
+    DEFAULT_TENANT,
+    tenant_cache,
+    tenant_cache_root,
+    validate_tenant,
+)
+
+__all__ = [
+    "AdmissionQueue",
+    "AsyncFabricService",
+    "CircuitBreaker",
+    "DEFAULT_TENANT",
+    "FabricService",
+    "FloodEntry",
+    "JournalTail",
+    "ServiceChaosPolicy",
+    "ServiceConfig",
+    "Submission",
+    "TokenBucket",
+    "flood_plan",
+    "killed_policy",
+    "tenant_cache",
+    "tenant_cache_root",
+    "validate_tenant",
+]

@@ -1,0 +1,174 @@
+"""Admission control primitives: token buckets and a bounded shed queue.
+
+Both are deliberately *passive* data structures: they hold no locks and
+spawn no threads. The :class:`~repro.service.core.FabricService` owns
+one mutex and calls these under it, which keeps every admission decision
+atomic with the bookkeeping it affects and makes the whole layer
+testable with an injected clock (``time_fn``) — no sleeps, no races, no
+wall-clock flakes.
+
+Design rules, per the overload model in DESIGN.md:
+
+* Admission never blocks and never grows without bound. A submission is
+  accepted into a fixed-depth queue or rejected *now* with a typed
+  :class:`~repro.common.errors.AdmissionRejected` carrying the reason
+  and a retry hint.
+* Shedding is deterministic and fair-by-tenant: when the queue is full,
+  the victim is the *oldest* queued entry of the *heaviest* tenant (most
+  queued entries; ties broken by whichever tenant queued earliest). A
+  newcomer whose own tenant is (one of) the heaviest cannot displace
+  another tenant's work — it is rejected instead. One tenant flooding
+  the service therefore sheds only its own backlog.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.common.errors import AdmissionRejected
+
+
+class TokenBucket:
+    """A standard token bucket with an injectable monotonic clock.
+
+    ``capacity`` tokens maximum, refilled continuously at
+    ``refill_per_s``. ``try_acquire`` never blocks: it either takes a
+    token or reports the wait. A ``capacity`` of zero means "this tenant
+    may never submit" (acquire always fails, retry hint is ``None``).
+    """
+
+    __slots__ = ("capacity", "refill_per_s", "_tokens", "_updated", "_time_fn")
+
+    def __init__(
+        self,
+        capacity: float,
+        refill_per_s: float,
+        time_fn: Callable[[], float] = time.monotonic,
+    ):
+        if capacity < 0 or refill_per_s < 0:
+            raise ValueError("token bucket capacity/refill must be >= 0")
+        self.capacity = float(capacity)
+        self.refill_per_s = float(refill_per_s)
+        self._tokens = float(capacity)
+        self._updated = time_fn()
+        self._time_fn = time_fn
+
+    def _refill(self) -> None:
+        now = self._time_fn()
+        elapsed = now - self._updated
+        self._updated = now
+        if elapsed > 0 and self.refill_per_s > 0:
+            self._tokens = min(
+                self.capacity, self._tokens + elapsed * self.refill_per_s
+            )
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        """Take ``tokens`` if available; False (no debt) otherwise."""
+        self._refill()
+        if self._tokens >= tokens:
+            self._tokens -= tokens
+            return True
+        return False
+
+    def retry_after(self, tokens: float = 1.0) -> Optional[float]:
+        """Seconds until ``tokens`` could be available; None if never."""
+        self._refill()
+        deficit = tokens - self._tokens
+        if deficit <= 0:
+            return 0.0
+        if self.refill_per_s <= 0 or tokens > self.capacity:
+            return None
+        return deficit / self.refill_per_s
+
+    @property
+    def tokens(self) -> float:
+        self._refill()
+        return self._tokens
+
+
+class AdmissionQueue:
+    """Bounded FIFO of pending submissions with tenant-fair shedding.
+
+    Entries are ``(ticket, tenant)`` pairs kept in arrival order; the
+    depth is fixed at construction. :meth:`offer` returns the ticket of
+    a shed victim (to be failed by the caller) or ``None`` when the
+    newcomer fit without displacement — and raises
+    :class:`AdmissionRejected` (reason ``queue_full``) when the newcomer
+    itself must be turned away because its tenant already dominates the
+    queue. Not thread-safe on its own: the owning service serializes
+    access under its lock.
+    """
+
+    __slots__ = ("depth", "_entries")
+
+    def __init__(self, depth: int):
+        if depth < 1:
+            raise ValueError("admission queue depth must be >= 1")
+        self.depth = int(depth)
+        # ticket -> tenant; insertion order is arrival order.
+        self._entries: "OrderedDict[str, str]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, ticket: str) -> bool:
+        return ticket in self._entries
+
+    def tenant_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for tenant in self._entries.values():
+            counts[tenant] = counts.get(tenant, 0) + 1
+        return counts
+
+    def _heaviest_tenants(self) -> List[str]:
+        counts = self.tenant_counts()
+        if not counts:
+            return []
+        top = max(counts.values())
+        return [tenant for tenant, n in counts.items() if n == top]
+
+    def _oldest_of(self, tenants: List[str]) -> str:
+        # First entry (arrival order) belonging to any candidate tenant:
+        # deterministic victim regardless of dict hashing or tie counts.
+        for ticket, tenant in self._entries.items():
+            if tenant in tenants:
+                return ticket
+        raise KeyError("no entry for candidate tenants")  # unreachable
+
+    def offer(self, ticket: str, tenant: str) -> Optional[str]:
+        """Queue ``ticket``; returns the shed victim's ticket, if any.
+
+        Raises :class:`AdmissionRejected` (``queue_full``) when the
+        queue is full and the newcomer's own tenant is among the
+        heaviest — shedding someone else's work to admit more of the
+        dominant tenant would invert fairness.
+        """
+        if len(self._entries) < self.depth:
+            self._entries[ticket] = tenant
+            return None
+        heaviest = self._heaviest_tenants()
+        if tenant in heaviest:
+            raise AdmissionRejected(
+                f"admission queue full ({self.depth} deep) and tenant "
+                f"{tenant!r} already holds the largest share",
+                tenant=tenant,
+                reason="queue_full",
+            )
+        victim = self._oldest_of(heaviest)
+        del self._entries[victim]
+        self._entries[ticket] = tenant
+        return victim
+
+    def take(self) -> Optional[Tuple[str, str]]:
+        """Pop the oldest entry as ``(ticket, tenant)``; None when empty."""
+        if not self._entries:
+            return None
+        ticket, tenant = next(iter(self._entries.items()))
+        del self._entries[ticket]
+        return ticket, tenant
+
+    def remove(self, ticket: str) -> bool:
+        """Drop ``ticket`` if still queued (cancel path); True if found."""
+        return self._entries.pop(ticket, None) is not None

@@ -1,0 +1,138 @@
+"""Per-backend circuit breaker for the fabric service.
+
+The parallel fabric already survives individual worker crashes and hung
+jobs (retry budgets, pool supervision, serial fallback). The breaker
+addresses the layer above: a backend that keeps producing *transient
+infrastructure* failures (``WorkerCrashError`` / ``JobTimeoutError``)
+across submissions is probably sick — a broken sandbox, an exhausted
+cgroup — and every sweep routed at it pays the full
+retry-and-degrade tax before recovering. Tripping the breaker routes
+subsequent submissions straight to the in-process backend until the
+cooldown expires, converting repeated slow-path recoveries into one
+fast, observable decision.
+
+Standard three-state machine, deterministic by construction:
+
+* ``closed`` — normal; consecutive transient failures are counted and
+  any success resets the count. ``threshold`` consecutive failures trip
+  to ``open``.
+* ``open`` — :meth:`allow` is False until ``cooldown_s`` has elapsed on
+  the injected clock, then the breaker moves to ``half_open``.
+* ``half_open`` — exactly one probe submission is allowed through; its
+  success closes the breaker, its failure re-opens (restarting the
+  cooldown). Further :meth:`allow` calls while the probe is in flight
+  return False.
+
+Only *transient* failures count: a job whose own code raises is a user
+error, says nothing about backend health, and must never poison routing
+for other tenants. Like the admission primitives, the breaker is
+lock-free and clock-injected; the owning service serializes calls.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Consecutive-transient-failure breaker with an injectable clock."""
+
+    __slots__ = (
+        "name",
+        "threshold",
+        "cooldown_s",
+        "_time_fn",
+        "_state",
+        "_failures",
+        "_opened_at",
+        "_probing",
+        "trips",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        threshold: int = 3,
+        cooldown_s: float = 30.0,
+        time_fn: Callable[[], float] = time.monotonic,
+    ):
+        if threshold < 1:
+            raise ValueError("breaker threshold must be >= 1")
+        if cooldown_s < 0:
+            raise ValueError("breaker cooldown must be >= 0")
+        self.name = name
+        self.threshold = int(threshold)
+        self.cooldown_s = float(cooldown_s)
+        self._time_fn = time_fn
+        self._state = CLOSED
+        self._failures = 0
+        self._opened_at: Optional[float] = None
+        self._probing = False
+        self.trips = 0
+
+    @property
+    def state(self) -> str:
+        """Current state, advancing ``open`` -> ``half_open`` on expiry."""
+        if self._state == OPEN and self._opened_at is not None:
+            if self._time_fn() - self._opened_at >= self.cooldown_s:
+                self._state = HALF_OPEN
+                self._probing = False
+        return self._state
+
+    def allow(self) -> bool:
+        """May the next submission use this backend right now?"""
+        state = self.state
+        if state == CLOSED:
+            return True
+        if state == HALF_OPEN and not self._probing:
+            self._probing = True  # exactly one probe per half-open window
+            return True
+        return False
+
+    def record_success(self) -> None:
+        self._state = CLOSED
+        self._failures = 0
+        self._opened_at = None
+        self._probing = False
+
+    def record_failure(self) -> None:
+        """Count one transient infrastructure failure."""
+        if self.state == HALF_OPEN:
+            self._trip()  # failed probe: straight back to open
+            return
+        self._failures += 1
+        if self._failures >= self.threshold:
+            self._trip()
+
+    def _trip(self) -> None:
+        self._state = OPEN
+        self._opened_at = self._time_fn()
+        self._failures = 0
+        self._probing = False
+        self.trips += 1
+
+    def retry_after(self) -> Optional[float]:
+        """Seconds until the next probe could be allowed (None if now)."""
+        if self.state != OPEN or self._opened_at is None:
+            return None
+        remaining = self.cooldown_s - (self._time_fn() - self._opened_at)
+        return max(0.0, remaining)
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "backend": self.name,
+            "state": self.state,
+            "consecutive_failures": self._failures,
+            "trips": self.trips,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitBreaker({self.name}: {self.state}, "
+            f"failures={self._failures}, trips={self.trips})"
+        )

@@ -1,0 +1,130 @@
+"""Deterministic chaos at the service layer.
+
+:mod:`repro.harness.chaos` proves the *fabric* absorbs worker kills and
+cache corruption without changing bytes. This module lifts the same
+discipline one layer up, to the overload machinery: seeded submission
+floods, backend kills mid-campaign and greedy tenants, all derived from
+the shared :func:`~repro.faults.inject.deterministic_fraction`
+primitive so a scenario replays identically on every run.
+
+The harness contract, enforced by ``tests/test_service.py`` and the
+service bench: under any seeded scenario, every *accepted* submission
+completes with results byte-identical to a quiet serial run of the same
+jobs, and every *rejected* submission fails fast with a typed
+:class:`~repro.common.errors.AdmissionRejected` — never a hang, never a
+silent drop, never cross-tenant contamination.
+
+Pieces:
+
+* :class:`ServiceChaosPolicy` — per-submission verdicts (is this
+  submission's backend execution killed?) from ``(seed, channel,
+  submission key)``.
+* :func:`flood_plan` — a deterministic interleaved submission order for
+  N tenants × M sweeps each (plus an optional greedy tenant submitting
+  extra), shuffled by seed, not by wall clock.
+* :func:`killed_policy` — the :class:`ExecutionPolicy` a chaos-killed
+  submission carries: kill-probability 1 with a zero retry budget, so
+  the primary backend deterministically reports a transient
+  infrastructure failure and the service's breaker/degradation path —
+  not the fabric's internal retry — must save the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.faults.inject import deterministic_fraction
+from repro.harness.chaos import ChaosPolicy
+from repro.harness.parallel import ExecutionPolicy
+
+KILL_CHANNEL = "service-kill"
+ORDER_CHANNEL = "service-order"
+
+
+@dataclass(frozen=True)
+class ServiceChaosPolicy:
+    """Seeded per-submission fault verdicts for service scenarios."""
+
+    seed: int = 0
+    kill_backend: float = 0.0
+
+    def backend_killed(self, submission_key: str) -> bool:
+        """Is this submission's primary-backend execution chaos-killed?"""
+        if self.kill_backend <= 0.0:
+            return False
+        return (
+            deterministic_fraction(self.seed, KILL_CHANNEL, submission_key)
+            < self.kill_backend
+        )
+
+
+@dataclass(frozen=True)
+class FloodEntry:
+    """One planned submission in a flood scenario."""
+
+    tenant: str
+    index: int
+    killed: bool = False
+
+    @property
+    def key(self) -> str:
+        return f"{self.tenant}:{self.index}"
+
+
+def flood_plan(
+    policy: ServiceChaosPolicy,
+    tenants: Sequence[str],
+    per_tenant: int,
+    greedy_tenant: str = "",
+    greedy_extra: int = 0,
+) -> List[FloodEntry]:
+    """A deterministic interleaved submission order for a flood.
+
+    Each tenant contributes ``per_tenant`` submissions; ``greedy_tenant``
+    (if set) contributes ``greedy_extra`` more — the overload source in
+    fairness scenarios. Ordering is a seed-keyed shuffle (sort by the
+    deterministic fraction of each entry's key), so the arrival pattern
+    is adversarially interleaved yet identical on every run; each
+    entry's ``killed`` verdict is pre-resolved from the same seed.
+    """
+    entries: List[FloodEntry] = []
+    for tenant in tenants:
+        for index in range(per_tenant):
+            key = f"{tenant}:{index}"
+            entries.append(
+                FloodEntry(tenant, index, killed=policy.backend_killed(key))
+            )
+    for index in range(per_tenant, per_tenant + greedy_extra):
+        key = f"{greedy_tenant}:{index}"
+        entries.append(
+            FloodEntry(greedy_tenant, index, killed=policy.backend_killed(key))
+        )
+    entries.sort(
+        key=lambda e: (
+            deterministic_fraction(policy.seed, ORDER_CHANNEL, e.key),
+            e.key,
+        )
+    )
+    return entries
+
+
+def killed_policy(seed: int, timeout_s=None) -> ExecutionPolicy:
+    """The policy a chaos-killed submission runs under.
+
+    ``kill=1.0`` with ``retries=0`` means the first (and only) attempt
+    on any carrier-based backend fails transiently and the retry budget
+    is already spent — the fabric surfaces
+    :class:`RetryBudgetExceededError` (cause: ``WorkerCrashError``)
+    instead of recovering internally. Backoffs are zeroed: the failure
+    is deterministic, waiting would only slow the test. The in-process
+    backend has no carrier to kill, which is exactly why the service's
+    degraded rerun succeeds and the accepted-work guarantee holds.
+    """
+    return ExecutionPolicy(
+        timeout_s=timeout_s,
+        retries=0,
+        backoff_base_s=0.0,
+        backoff_cap_s=0.0,
+        chaos=ChaosPolicy(seed=seed, kill=1.0),
+    )

@@ -1,0 +1,97 @@
+"""Streaming progress from sweep journals.
+
+The fabric already writes an append-only JSONL journal per sweep
+(:class:`repro.harness.parallel.SweepJournal`): ``sweep_start``, one
+``job_done`` per completed cell, ``sweep_complete``. The service
+streams *live* progress to clients by tailing that file — no second
+progress channel to keep consistent, no writer-side changes, and the
+stream inherits the journal's crash story.
+
+:class:`JournalTail` is an incremental reader with one invariant: the
+sequence of records it has yielded is always a *monotonically growing
+prefix* of the journal. It remembers a byte offset and, on each
+:meth:`poll`, consumes only complete, newline-terminated, parseable
+lines past that offset. A torn tail — a partial line mid-append, or a
+line written but not yet newline-terminated — is left *unconsumed* (the
+offset does not advance past it), so the next poll re-reads it once the
+writer finishes. Records are therefore never yielded twice, never
+skipped, and never yielded torn, even while the writer is appending
+concurrently under any ``REPRO_JOURNAL_FLUSH`` batching.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Dict, List, Optional
+
+
+class JournalTail:
+    """Incremental reader over one sweep journal file."""
+
+    def __init__(self, path: pathlib.Path):
+        self.path = pathlib.Path(path)
+        self.offset = 0
+        self.records: List[Dict[str, Any]] = []
+
+    def poll(self) -> List[Dict[str, Any]]:
+        """Return records appended since the last poll (possibly empty).
+
+        Only complete, parseable lines are consumed; the offset stops at
+        the first torn/unterminated line so a concurrent append is
+        picked up whole on a later poll. A journal that does not exist
+        yet (sweep not started) is simply an empty poll.
+        """
+        try:
+            with open(self.path, "rb") as handle:
+                handle.seek(self.offset)
+                data = handle.read()
+        except OSError:
+            return []
+
+        fresh: List[Dict[str, Any]] = []
+        consumed = 0
+        while True:
+            newline = data.find(b"\n", consumed)
+            if newline < 0:
+                break  # unterminated tail: leave for the next poll
+            line = data[consumed : newline]
+            stripped = line.strip()
+            if stripped:
+                try:
+                    fresh.append(json.loads(stripped.decode("utf-8")))
+                except (ValueError, UnicodeDecodeError):
+                    # A terminated-but-garbled line can only be a torn
+                    # write racing us; stop here and re-read next poll.
+                    break
+            consumed = newline + 1
+
+        self.offset += consumed
+        self.records.extend(fresh)
+        return fresh
+
+    # -- cumulative views over everything polled so far -------------------
+
+    def completed(self) -> int:
+        """Cells finished so far (``job_done`` records seen)."""
+        return sum(1 for r in self.records if r.get("event") == "job_done")
+
+    def total(self) -> Optional[int]:
+        """Total cells in the sweep, once ``sweep_start`` has been seen."""
+        for record in self.records:
+            if record.get("event") == "sweep_start":
+                return record.get("jobs")
+        return None
+
+    def done(self) -> bool:
+        """True once ``sweep_complete`` has been seen."""
+        return any(r.get("event") == "sweep_complete" for r in self.records)
+
+    def progress(self) -> Dict[str, Any]:
+        """One-line progress summary (polls first)."""
+        self.poll()
+        return {
+            "completed": self.completed(),
+            "total": self.total(),
+            "done": self.done(),
+        }

@@ -1,0 +1,67 @@
+"""Per-tenant namespacing of the content-addressed result cache.
+
+Every tenant gets a private subtree of the service's cache root:
+``<root>/tenants/<tenant>/`` — its own sha256-addressed entries, its own
+``journals/`` and its own ``quarantine/``. Job keys are a pure function
+of the job (tenant-independent), so two tenants submitting the same
+sweep produce entries at *distinct paths* with *identical payload
+digests* — isolation without forking the determinism argument. Nothing
+a tenant writes is reachable from another tenant's lookups, and a
+corrupt entry quarantines inside the owning tenant's subtree only.
+
+Tenant identifiers are restricted to a filesystem-safe alphabet so a
+tenant name can never escape its subtree (``../``, separators and
+anything non-portable are rejected at admission, not sanitised into
+collisions).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+from typing import Optional
+
+from repro.common.errors import ConfigurationError
+from repro.harness.parallel import ResultCache, default_cache_dir
+
+DEFAULT_TENANT = "default"
+
+# Portable, non-traversable, non-empty, bounded. A dot is allowed but a
+# leading dot is not (hidden dirs / "." / ".." are all excluded).
+_TENANT_PATTERN = re.compile(r"^[A-Za-z0-9_-][A-Za-z0-9._-]{0,63}$")
+
+
+def validate_tenant(tenant: str) -> str:
+    """Return ``tenant`` if it is a safe identifier, else raise.
+
+    Raised as :class:`ConfigurationError` (a caller mistake, not an
+    overload condition) with the accepted grammar in the message.
+    """
+    if not isinstance(tenant, str) or not _TENANT_PATTERN.match(tenant):
+        raise ConfigurationError(
+            f"invalid tenant id {tenant!r}: want 1-64 chars of "
+            "[A-Za-z0-9._-], not starting with a dot"
+        )
+    return tenant
+
+
+def tenant_cache_root(root: pathlib.Path, tenant: str) -> pathlib.Path:
+    """The private cache subtree for ``tenant`` under service root ``root``."""
+    return pathlib.Path(root) / "tenants" / validate_tenant(tenant)
+
+
+def tenant_cache(
+    root: Optional[pathlib.Path],
+    tenant: str,
+    quarantine_limit: Optional[int] = None,
+) -> ResultCache:
+    """A :class:`ResultCache` namespaced to ``tenant``.
+
+    ``root`` is the *service* cache root (default:
+    :func:`repro.harness.parallel.default_cache_dir`); the returned
+    cache lives entirely under ``<root>/tenants/<tenant>/``.
+    """
+    base = pathlib.Path(root) if root is not None else default_cache_dir()
+    return ResultCache(
+        tenant_cache_root(base, tenant), quarantine_limit=quarantine_limit
+    )

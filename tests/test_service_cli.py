@@ -1,0 +1,141 @@
+"""Runner ``--serve`` mode: exit codes and messages, via subprocess.
+
+Exit-code contract (sysexits-flavoured): 0 success, 1 experiment
+failure, 2 usage error, 75 = EX_TEMPFAIL for transient service-side
+refusals — admission control (rate limit, full queue) and an open
+circuit with degraded fallback disabled. 75 tells retry loops "the same
+command later should succeed", which neither 1 nor 2 does; the stderr
+line carries the typed reason and a retry hint.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+SCALE_ARGS = ["--scale", "0.25", "--workloads", "povray,xz"]
+
+
+def _run(tmp_path, extra, experiment="fig6"):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src"
+    env.pop("REPRO_CHAOS", None)
+    env.pop("REPRO_BACKEND", None)
+    return subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro.harness.runner",
+            experiment,
+            *SCALE_ARGS,
+            "--cache-dir",
+            str(tmp_path / "cache"),
+            *extra,
+        ],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+class TestServeHappyPath:
+    def test_serve_runs_experiment_and_reports_tenant(self, tmp_path):
+        result = _run(tmp_path, ["--serve", "--tenant", "alice"])
+        assert result.returncode == 0, result.stderr
+        assert "slowdown by workload" in result.stdout
+        assert "tenant=alice" in result.stderr
+        assert "[service health: ok" in result.stderr
+        # The tenant's private cache subtree was populated.
+        tenant_dir = tmp_path / "cache" / "tenants" / "alice"
+        assert list(tenant_dir.glob("??/*.json"))
+
+    def test_serve_report_matches_direct_mode(self, tmp_path):
+        served = _run(tmp_path, ["--serve"])
+        direct = _run(tmp_path, [])
+        assert served.returncode == 0 and direct.returncode == 0
+
+        def _report(stdout):
+            return "\n".join(
+                line
+                for line in stdout.splitlines()
+                if not (line.startswith("[") and line.endswith("]"))
+            )
+
+        assert _report(served.stdout) == _report(direct.stdout)
+
+
+class TestTempfail:
+    def test_rate_limited_exits_75_with_retry_hint(self, tmp_path):
+        result = _run(tmp_path, ["--serve", "--rate", "0:0"])
+        assert result.returncode == 75
+        assert "temporarily unavailable (rate_limited)" in result.stderr
+        assert "EX_TEMPFAIL" in result.stderr
+        assert "retry" in result.stderr
+
+    def test_circuit_open_fail_fast_exits_75(self, tmp_path):
+        result = _run(
+            tmp_path,
+            [
+                "--serve",
+                "--no-degraded",
+                "--breaker-threshold",
+                "1",
+                "--chaos",
+                "seed=7,kill=1.0",
+                "--retries",
+                "0",
+            ],
+        )
+        assert result.returncode == 75
+        assert "temporarily unavailable (circuit_open)" in result.stderr
+        assert "retry in" in result.stderr
+
+    def test_degraded_fallback_beats_tempfail_by_default(self, tmp_path):
+        # Same chaos, but degraded fallback on (the default): the service
+        # reroutes to in-process execution and still succeeds.
+        result = _run(
+            tmp_path,
+            ["--serve", "--chaos", "seed=7,kill=1.0", "--retries", "0"],
+        )
+        assert result.returncode == 0, result.stderr
+        assert "degraded=True" in result.stderr
+
+
+class TestUsageErrors:
+    def test_serve_with_no_cache_is_usage_error(self, tmp_path):
+        result = _run(tmp_path, ["--serve", "--no-cache"])
+        assert result.returncode == 2
+        assert "per-tenant caches" in result.stderr
+
+    def test_rate_without_serve_is_usage_error(self, tmp_path):
+        result = _run(tmp_path, ["--rate", "4:1"])
+        assert result.returncode == 2
+
+    def test_bad_rate_spec_is_usage_error(self, tmp_path):
+        result = _run(tmp_path, ["--serve", "--rate", "fast"])
+        assert result.returncode == 2
+        assert "CAP:REFILL" in result.stderr
+
+    def test_unknown_backend_is_usage_error(self, tmp_path):
+        result = _run(tmp_path, ["--backend", "quantum"])
+        assert result.returncode == 2
+        assert "unknown backend" in result.stderr
+
+
+class TestBackendFlagDirectMode:
+    def test_explicit_backend_produces_same_report(self, tmp_path):
+        threaded = _run(tmp_path, ["--backend", "threaded", "--workers", "2"])
+        default = _run(tmp_path, ["--workers", "2"])
+        assert threaded.returncode == 0, threaded.stderr
+        assert default.returncode == 0, default.stderr
+
+        def _report(stdout):
+            return "\n".join(
+                line
+                for line in stdout.splitlines()
+                if not (line.startswith("[") and line.endswith("]"))
+            )
+
+        assert _report(threaded.stdout) == _report(default.stdout)
