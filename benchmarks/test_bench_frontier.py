@@ -1,0 +1,147 @@
+"""Adversary frontier benchmark: worst-case availability and its price.
+
+Runs the full default policy grid against every adaptive strategy
+through the cached fabric (exactly what ``ptguard-repro frontier``
+does), then times one matched closed-loop vs open-loop siege pair to
+price the adaptive machinery itself. Reports:
+
+* worst-case availability (and the breaking strategy) per recovery
+  policy — the frontier's headline separation;
+* adaptive-vs-fixed siege overhead — what the observe→adapt→hammer
+  loop costs relative to a fixed-intensity siege of the same length;
+* frontier throughput in cells/sec through the fabric.
+
+Writes machine-readable ``BENCH_frontier.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import shutil
+import tempfile
+import time
+
+from conftest import scale
+
+from repro.analysis.frontier_eval import run_frontier
+from repro.analysis.siege_eval import run_adaptive_siege_cell, run_siege_cell
+from repro.recovery.policy import RECOVERY_POLICIES
+
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+SEED = 17
+# The closed loop fires ~3 kill-grade ops per window; "medium" (4) is
+# the matched open-loop intensity for the overhead comparison.
+FIXED_INTENSITY = ("medium", 4)
+
+
+def test_bench_frontier(once, emit):
+    windows = max(8, int(12 * scale()))
+    cache_root = pathlib.Path(tempfile.mkdtemp(prefix="ptguard-bench-frontier-"))
+    full = RECOVERY_POLICIES["full"].as_params()
+
+    def experiment():
+        from repro.harness.parallel import ResultCache, last_run_stats
+
+        start = time.perf_counter()
+        rows, cells = run_frontier(
+            windows=windows,
+            seed=SEED,
+            workers=2,
+            cache=ResultCache(cache_root),
+        )
+        frontier_sec = time.perf_counter() - start
+        stats = last_run_stats()
+
+        # Matched pair: one closed-loop cell vs one fixed-intensity cell,
+        # same policy, same windows, both in-process and uncached.
+        adaptive_start = time.perf_counter()
+        adaptive_cell = run_adaptive_siege_cell(
+            "escalate", windows, SEED, recovery=full
+        )
+        adaptive_sec = time.perf_counter() - adaptive_start
+        fixed_start = time.perf_counter()
+        fixed_cell = run_siege_cell(
+            *FIXED_INTENSITY, windows, SEED, recovery=full
+        )
+        fixed_sec = time.perf_counter() - fixed_start
+
+        return {
+            "rows": rows,
+            "cells": len(cells),
+            "fresh": stats.fresh,
+            "frontier_sec": frontier_sec,
+            "adaptive_sec": adaptive_sec,
+            "fixed_sec": fixed_sec,
+            "adaptive_availability": adaptive_cell.availability,
+            "fixed_availability": fixed_cell.availability,
+            "strategy_switches": len(adaptive_cell.strategy_switches),
+        }
+
+    try:
+        result = once(experiment)
+    finally:
+        shutil.rmtree(cache_root, ignore_errors=True)
+
+    rows = result["rows"]
+    cells_per_sec = result["cells"] / result["frontier_sec"]
+    overhead = result["adaptive_sec"] / max(result["fixed_sec"], 1e-9)
+    presets = {
+        row.policy: row for row in rows if row.policy in RECOVERY_POLICIES
+    }
+
+    table = [
+        f"{'policy':<13} {'worst avail':>11} {'broken by':<18} {'verdict':<8}"
+    ]
+    for row in rows:
+        table.append(
+            f"{row.policy:<13} {row.min_availability:>11.5f} "
+            f"{row.broken_by:<18} {'SURVIVES' if row.survives else 'BROKEN':<8}"
+        )
+    emit(
+        "\n".join(
+            [
+                f"Adversary frontier — {result['cells']} closed-loop siege "
+                f"cells, {windows} windows each (REPRO_SCALE={scale():g})",
+                "",
+                *table,
+                "",
+                f"{'frontier wall clock':<28} "
+                f"{result['frontier_sec']:>8.2f} s "
+                f"({cells_per_sec:.2f} cells/s through the fabric)",
+                f"{'adaptive vs fixed siege':<28} {overhead:>8.2f} x "
+                f"({result['adaptive_sec']:.2f} s vs "
+                f"{result['fixed_sec']:.2f} s, full policy)",
+                f"{'switches in escalate cell':<28} "
+                f"{result['strategy_switches']:>8}",
+            ]
+        )
+    )
+
+    # The headline separation must hold at benchmark scale too.
+    assert result["fresh"] == result["cells"], "bench must measure fresh cells"
+    assert not presets["full"].survives
+    assert any(row.policy == "hardened" and row.survives for row in rows)
+
+    payload = {
+        "repro_scale": scale(),
+        "windows": windows,
+        "seed": SEED,
+        "cells": result["cells"],
+        "frontier_sec": result["frontier_sec"],
+        "cells_per_sec": cells_per_sec,
+        "adaptive_siege_sec": result["adaptive_sec"],
+        "fixed_siege_sec": result["fixed_sec"],
+        "adaptive_vs_fixed_overhead": overhead,
+        "worst_case_availability": {
+            row.policy: {
+                "min_availability": row.min_availability,
+                "broken_by": row.broken_by,
+                "survives": row.survives,
+            }
+            for row in rows
+        },
+    }
+    (REPO_ROOT / "BENCH_frontier.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )

@@ -83,3 +83,25 @@ __all__ += [
     "energy_estimate",
     "predicted_slowdown_percent",
 ]
+
+from repro.analysis.frontier_eval import (  # noqa: E402
+    FrontierRow,
+    format_frontier_report,
+    run_frontier,
+)
+from repro.analysis.siege_eval import (  # noqa: E402
+    AdaptiveSiegeCell,
+    SiegeCell,
+    run_adaptive_siege_cell,
+    run_siege_cell,
+)
+
+__all__ += [
+    "FrontierRow",
+    "format_frontier_report",
+    "run_frontier",
+    "AdaptiveSiegeCell",
+    "SiegeCell",
+    "run_adaptive_siege_cell",
+    "run_siege_cell",
+]

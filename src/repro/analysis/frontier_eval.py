@@ -1,0 +1,189 @@
+"""The worst-case availability frontier: policies vs adaptive strategies.
+
+Every candidate :class:`repro.recovery.RecoveryPolicy` from the search
+grid (:mod:`repro.recovery.search`) faces every adaptive strategy
+(:mod:`repro.attacks.adaptive`) in a closed-loop siege
+(:func:`repro.analysis.siege_eval.run_adaptive_siege_cell`), one cached
+``adaptive_siege_cell`` fabric job per (policy, strategy) pair. A policy
+is scored by its *minimum* availability across strategies — the
+adversary picks the strategy, so only the worst case counts.
+
+Per policy the frontier reports: the minimum availability and which
+strategy forces it, whether that clears
+:data:`repro.recovery.search.AVAILABILITY_TARGET` (``SURVIVES`` /
+``BROKEN``), the recovery-latency p95 of the worst-case siege, and its
+downtime attribution (recovery / migration / rekey-sweep / panic —
+parts that sum exactly to the downtime). Ranking, rendering and every
+cell are pure functions of the parameters, so the report is
+byte-identical across runs, backends and cache states.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.siege_eval import AdaptiveSiegeCell, adaptive_siege_cell_job
+
+
+@dataclass
+class FrontierRow:
+    """One policy's worst case across every adaptive strategy."""
+
+    policy: str
+    #: availability per strategy name
+    availability: Dict[str, float] = field(default_factory=dict)
+    min_availability: float = 1.0
+    #: the strategy that forces the minimum (ties break lexically)
+    broken_by: str = ""
+    #: recovery-latency p95 (cycles) of the worst-case siege
+    latency_p95: int = 0
+    #: downtime attribution of the worst-case siege, cycles per cause
+    attribution: Dict[str, int] = field(default_factory=dict)
+    panics: int = 0
+
+    @property
+    def survives(self) -> bool:
+        from repro.recovery.search import AVAILABILITY_TARGET
+
+        return self.min_availability >= AVAILABILITY_TARGET
+
+
+def run_frontier(
+    windows: int = 48,
+    seed: int = 17,
+    workload: str = "povray",
+    validate: bool = False,
+    policies=None,
+    strategies: Optional[Sequence[str]] = None,
+    workers: Optional[int] = None,
+    cache=None,
+) -> Tuple[List[FrontierRow], List[AdaptiveSiegeCell]]:
+    """Evaluate the frontier; returns (ranked rows, all siege cells).
+
+    ``policies`` is a grid name (see
+    :data:`repro.recovery.search.POLICY_GRIDS`), a list of
+    :class:`~repro.recovery.RecoveryPolicy`, or None for the default
+    grid. ``strategies`` defaults to the full ladder plus the switching
+    controller (:data:`repro.attacks.adaptive.ALL_STRATEGIES`).
+    """
+    from repro.attacks.adaptive import ALL_STRATEGIES
+    from repro.harness.parallel import run_jobs
+    from repro.recovery.search import policy_grid
+
+    if policies is None:
+        policies = policy_grid("default")
+    elif isinstance(policies, str):
+        policies = policy_grid(policies)
+    chosen = tuple(strategies) if strategies else tuple(sorted(ALL_STRATEGIES))
+
+    jobs = []
+    for policy in policies:
+        for strategy in chosen:
+            jobs.append(
+                adaptive_siege_cell_job(
+                    strategy=strategy,
+                    windows=windows,
+                    seed=seed,
+                    workload=workload,
+                    validate=validate,
+                    recovery=policy.as_params(),
+                    label=f"frontier/{policy.name}/{strategy}",
+                )
+            )
+    cells: List[AdaptiveSiegeCell] = run_jobs(jobs, workers=workers, cache=cache)
+
+    by_policy: Dict[str, List[AdaptiveSiegeCell]] = {}
+    for cell in cells:
+        by_policy.setdefault(cell.recovery_policy or "none", []).append(cell)
+
+    rows: List[FrontierRow] = []
+    for policy in policies:
+        row = FrontierRow(policy=policy.name)
+        worst: Optional[AdaptiveSiegeCell] = None
+        for cell in sorted(
+            by_policy.get(policy.name, []), key=lambda c: c.strategy
+        ):
+            avail = cell.availability
+            row.availability[cell.strategy] = avail
+            row.panics += cell.panics
+            if worst is None or avail < row.min_availability:
+                row.min_availability = avail
+                row.broken_by = cell.strategy
+                worst = cell
+        if worst is not None:
+            row.latency_p95 = worst.latency_percentile(0.95)
+            row.attribution = dict(worst.downtime_attribution)
+        rows.append(row)
+    # The adversary ranks policies: best worst-case first; name breaks ties.
+    rows.sort(key=lambda r: (-r.min_availability, r.policy))
+    return rows, cells
+
+
+def format_frontier_report(
+    rows: Sequence[FrontierRow],
+    cells: Sequence[AdaptiveSiegeCell],
+) -> str:
+    """Render the frontier (byte-identical across runs and backends)."""
+    from repro.recovery.search import AVAILABILITY_TARGET
+
+    lines: List[str] = []
+    lines.append("Worst-case availability frontier: adaptive adversary siege")
+    if cells:
+        head = cells[0]
+        lines.append(
+            f"workload={head.workload}  windows={head.windows}  "
+            f"seed={head.seed}  target={AVAILABILITY_TARGET:.5f}"
+        )
+    strategies = sorted({cell.strategy for cell in cells})
+    lines.append(f"strategies: {', '.join(strategies)}")
+    lines.append("")
+
+    header = (
+        f"{'rank':<5} {'policy':<13} {'min-avail':>9} {'broken-by':<18} "
+        f"{'p95':>8} {'recov':>8} {'migr':>8} {'rekey':>8} {'panic':>9} "
+        f"{'verdict':<8}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for rank, row in enumerate(rows, start=1):
+        attr = row.attribution
+        lines.append(
+            f"{rank:<5} {row.policy:<13} {row.min_availability:>9.5f} "
+            f"{row.broken_by:<18} {row.latency_p95:>8} "
+            f"{attr.get('recovery', 0):>8} {attr.get('migration', 0):>8} "
+            f"{attr.get('rekey', 0):>8} {attr.get('panic', 0):>9} "
+            f"{'SURVIVES' if row.survives else 'BROKEN':<8}"
+        )
+    lines.append("")
+
+    if rows:
+        weakest = min(rows, key=lambda r: (r.min_availability, r.policy))
+        lines.append(
+            f"weakest={weakest.policy} broken-by={weakest.broken_by} "
+            f"min-avail={weakest.min_availability:.5f}"
+        )
+        lines.append("")
+
+    # The full availability matrix; '*' marks cells below the target.
+    width = max([len("policy")] + [len(row.policy) for row in rows])
+    cols = [f"{name:>19}" for name in strategies]
+    lines.append(f"{'policy':<{width}} " + " ".join(cols))
+    for row in sorted(rows, key=lambda r: r.policy):
+        cells_out = []
+        for name in strategies:
+            avail = row.availability.get(name)
+            if avail is None:
+                cells_out.append(f"{'-':>19}")
+            else:
+                mark = "*" if avail < AVAILABILITY_TARGET else " "
+                cells_out.append(f"{avail:>18.5f}{mark}")
+        lines.append(f"{row.policy:<{width}} " + " ".join(cells_out))
+    lines.append("")
+
+    switches = sum(len(cell.strategy_switches) for cell in cells)
+    lines.append(
+        f"cells: {len(cells)}  strategy switches: {switches}  "
+        f"panics: {sum(cell.panics for cell in cells)}"
+    )
+    return "\n".join(lines)

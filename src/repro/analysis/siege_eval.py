@@ -21,6 +21,21 @@ Reported per cell:
 
 Cells run as ``siege_cell`` fabric jobs, so caching, retries, timeouts
 and ``--resume`` apply; everything is a pure function of the seed.
+
+Two siege modes share this module:
+
+* **fixed-intensity** (:func:`run_siege_cell`) — the PR-5 open-loop
+  stress test, preserved bit-exactly: the adaptive machinery below never
+  touches this path;
+* **closed-loop adaptive** (:func:`run_adaptive_siege_cell`) — each
+  window runs observe → adapt → hammer: the
+  :class:`repro.attacks.adaptive.AdaptiveAttacker` reads the defense's
+  observable telemetry, plans the window's hammer ops under its
+  activation budget (explicit ops face the
+  :class:`repro.attacks.defenses.BlockhammerThrottle`; PThammer-style
+  implicit ops ride page-walk traffic past it), and the recovery
+  machinery answers. Downtime is attributed per cause (recovery /
+  migration / rekey-sweep / panic) without double counting.
 """
 
 from __future__ import annotations
@@ -221,6 +236,348 @@ def run_siege_cell(
         cell.invariant_sweeps = checker.stats.get("sweeps")
     cell.outcomes = outcomes
     return cell
+
+
+# -- the closed-loop adaptive siege -------------------------------------------
+
+
+@dataclass
+class AdaptiveSiegeCell:
+    """Outcome of one (strategy, policy, seed) closed-loop siege."""
+
+    strategy: str
+    windows: int
+    seed: int
+    workload: str
+    recovery_policy: Optional[str] = None
+    injections: int = 0
+    hammer_ops: int = 0
+    throttled_ops: int = 0
+    walks_issued: int = 0
+    outcomes: Dict[str, int] = field(default_factory=dict)
+    survived_windows: int = 0
+    panics: int = 0
+    exposure_cycles: int = 0
+    downtime_cycles: int = 0
+    #: downtime attribution; the four parts always sum to
+    #: ``downtime_cycles`` (a panic forfeits its whole window to
+    #: ``downtime_panic_cycles``, discarding that window's partial costs)
+    downtime_recovery_cycles: int = 0
+    downtime_migration_cycles: int = 0
+    downtime_rekey_cycles: int = 0
+    downtime_panic_cycles: int = 0
+    recovery_latency_cycles: List[int] = field(default_factory=list)
+    rows_retired: int = 0
+    adaptive_rekeys: int = 0
+    rekeys_suppressed: int = 0
+    spare_rows_left: int = 0
+    retirements_exhausted: int = 0
+    invariant_sweeps: int = 0
+    final_strategy: str = ""
+    #: per-window defense-visible telemetry (the ObservationChannel
+    #: trace, as plain dicts so cells stay JSON round-trippable)
+    observations: List[Dict[str, int]] = field(default_factory=list)
+    #: controller decisions, in order (escalate mode only)
+    strategy_switches: List[Dict[str, object]] = field(default_factory=list)
+
+    outcome = SiegeCell.outcome
+    availability = SiegeCell.availability
+    survival_fraction = SiegeCell.survival_fraction
+    latency_percentile = SiegeCell.latency_percentile
+
+    @property
+    def downtime_attribution(self) -> Dict[str, int]:
+        return {
+            "recovery": self.downtime_recovery_cycles,
+            "migration": self.downtime_migration_cycles,
+            "rekey": self.downtime_rekey_cycles,
+            "panic": self.downtime_panic_cycles,
+        }
+
+
+def run_adaptive_siege_cell(
+    strategy: str,
+    windows: int,
+    seed: int,
+    workload: str = "povray",
+    validate: bool = False,
+    recovery: Optional[dict] = None,
+) -> AdaptiveSiegeCell:
+    """One closed-loop siege: observe → adapt → hammer, per window.
+
+    ``strategy`` is a :data:`repro.attacks.adaptive.STRATEGY_ORDER` name
+    (the attacker is pinned to it) or ``"escalate"`` (the deterministic
+    switching controller runs the whole ladder). Pure function of its
+    parameters, like every other cell.
+    """
+    from repro.analysis.correction_eval import walked_pte_lines, workload_process
+    from repro.attacks.adaptive import (
+        ObservationChannel,
+        craft_bit_offsets,
+        make_attacker,
+    )
+    from repro.attacks.defenses import BlockhammerThrottle
+    from repro.common.config import PAGE_BYTES, PTGuardConfig
+    from repro.core import pattern
+    from repro.faults.campaign import (
+        OUTCOME_CLASSES,
+        TRIAL_WINDOW_CYCLES,
+        _classify,
+    )
+    from repro.faults.inject import deterministic_choice
+    from repro.faults.invariants import attach_validator
+    from repro.harness.system import build_system
+    from repro.recovery.policy import policy_from_params
+
+    policy = policy_from_params(recovery)
+    config = PTGuardConfig(correction_enabled=True)
+    system = build_system(
+        ptguard=config,
+        seed=seed,
+        spare_rows=(
+            policy.spare_rows
+            if policy is not None and policy.retire_enabled
+            else 0
+        ),
+    )
+    kernel = system.kernel
+    process = workload_process(system, workload, seed)
+    warm_vpns = sorted(process.frames)
+    for vpn in warm_vpns[:64]:
+        kernel.access_virtual(process, vpn * PAGE_BYTES)
+    pte_lines = walked_pte_lines(system, process)
+
+    checker = attach_validator(system) if validate else None
+    manager = None
+    if policy is not None:
+        from repro.recovery.manager import RecoveryManager
+
+        manager = RecoveryManager(kernel, policy)
+
+    # Deterministic row inventory: insertion order follows the sorted
+    # pte_lines; the heat order ranks rows by how many walked PTE lines
+    # they host (where implicit walker pressure concentrates).
+    mapper = system.dram.mapper
+    rows: Dict[tuple, List[int]] = {}
+    for line in pte_lines:
+        rows.setdefault(mapper.row_key_of(line), []).append(line)
+    row_list = list(rows)
+    heat_list = sorted(rows, key=lambda key: (-len(rows[key]), rows[key][0]))
+
+    throttle = BlockhammerThrottle()
+    channel = ObservationChannel(system, manager=manager, throttle=throttle)
+    attacker = make_attacker(strategy, seed)
+    protected = pattern.protected_bit_positions(config.max_phys_bits)
+
+    cell = AdaptiveSiegeCell(
+        strategy=strategy,
+        windows=windows,
+        seed=seed,
+        workload=workload,
+        recovery_policy=policy.name if policy is not None else None,
+    )
+    outcomes = {klass: 0 for klass in OUTCOME_CLASSES}
+    controller = system.controller
+    ledger = channel.ledger
+    first_panic_window: Optional[int] = None
+
+    for window in range(windows):
+        cell.exposure_cycles += TRIAL_WINDOW_CYCLES
+        throttle.begin_window()
+        plan = attacker.plan(window, n_rows=len(row_list))
+        strategy_name = attacker.active.name
+        window_recovery = window_migration = window_rekey = 0
+        panic_in_window = False
+
+        # Implicit phase: PThammer pressure is page-walk traffic. The
+        # TLB and MMU caches are flushed (eviction, in the real attack)
+        # so every translation re-walks through the controller.
+        if plan.walks and warm_vpns:
+            kernel.walker.tlb.flush()
+            kernel.walker.mmu_cache.flush()
+            for step in range(plan.walks):
+                vpn = warm_vpns[(window * plan.walks + step) % len(warm_vpns)]
+                try:
+                    kernel.access_virtual(process, vpn * PAGE_BYTES)
+                except Exception:  # noqa: BLE001 — clean lines never throw
+                    outcomes["sim_crash"] += 1
+                    break
+                cell.walks_issued += 1
+
+        for op_index, op in enumerate(plan.ops):
+            order = heat_list if op.hot else row_list
+            row_key = order[op.row_index % len(order)]
+            if not op.implicit and not throttle.request(row_key, op.cost):
+                cell.throttled_ops += 1
+                continue
+            lines = rows[row_key]
+            line = lines[
+                deterministic_choice(
+                    seed,
+                    f"adaptive:target:{strategy_name}",
+                    f"{window}:{op_index}",
+                    len(lines),
+                )
+            ]
+            offsets = craft_bit_offsets(
+                seed,
+                op.kind,
+                f"adaptive:{strategy_name}:{op.kind}",
+                f"{window}:{op_index}",
+                protected,
+            )
+            cell.hammer_ops += 1
+            # An adaptive attacker re-templates after a retirement: the
+            # victim's cells moved to a spare row, and the attacker
+            # re-locates them (timing side channels, in the real attack)
+            # and disturbs the *current* backing cells. This is the key
+            # capability difference from the fixed-intensity siege,
+            # where disturbance keeps landing on the original (now
+            # unread) cells — there, retirement is a full cure; here it
+            # only buys the migration it paid for.
+            backing = system.dram.remap_address(line)
+            snapshot = system.dram.read_line(line)
+            epoch_before = system.guard.epoch if system.guard else 0
+            original_protected = pattern.mask_unprotected(
+                snapshot, config.max_phys_bits
+            )
+            system.dram.inject_fault(backing, offsets, scenario="adaptive_siege")
+            cell.injections += 1
+            try:
+                response = controller.read_access(line, is_pte=True)
+            except Exception:  # noqa: BLE001 — any escape is a simulator crash
+                outcomes["sim_crash"] += 1
+            else:
+                klass = _classify(
+                    response, True, snapshot, original_protected,
+                    config.max_phys_bits,
+                )
+                if klass == "detected_corrected":
+                    ledger["corrected"] += 1
+                if klass == "detected_uncorrectable":
+                    ledger["uncorrectable"] += 1
+                if klass == "detected_uncorrectable" and manager is not None:
+                    event = manager.handle_pte_check_failed(line)
+                    if event.recovered:
+                        klass = (
+                            "recovered_retired"
+                            if event.retired
+                            else "recovered_reconstructed"
+                        )
+                        cell.recovery_latency_cycles.append(
+                            event.latency_cycles
+                        )
+                        migrate = event.stage_cycles.get("migrate", 0)
+                        rekey = event.stage_cycles.get("rekey", 0)
+                        window_migration += migrate
+                        window_rekey += rekey
+                        window_recovery += (
+                            event.latency_cycles - migrate - rekey
+                        )
+                    else:
+                        klass = "panic"
+                elif klass == "detected_uncorrectable":
+                    klass = "panic"
+                if klass == "panic":
+                    panic_in_window = True
+                    cell.panics += 1
+                    ledger["panics"] += 1
+                    if first_panic_window is None:
+                        first_panic_window = window
+                outcomes[klass] += 1
+            finally:
+                if (
+                    manager is not None
+                    and system.guard is not None
+                    and system.guard.epoch != epoch_before
+                ):
+                    logical = (
+                        pattern.strip_metadata(snapshot)
+                        if config.identifier_enabled
+                        else pattern.strip_mac(snapshot)
+                    )
+                    controller.write_access(line, logical)
+                else:
+                    # Restore through the remap-aware path: a retirement
+                    # inside this very event moves the backing row, and
+                    # the snapshot must land wherever reads now go.
+                    system.dram.write_line(line, snapshot)
+            if panic_in_window:
+                # The machine is rebooting: the window is forfeit and the
+                # rest of the plan never executes.
+                break
+
+        if panic_in_window:
+            cell.downtime_cycles += TRIAL_WINDOW_CYCLES
+            cell.downtime_panic_cycles += TRIAL_WINDOW_CYCLES
+        else:
+            # Sequential clamp keeps the attribution identity exact even
+            # if a window ever saturates: parts are taken in stage order
+            # until the window is full.
+            taken = 0
+            for attr, part in (
+                ("downtime_recovery_cycles", window_recovery),
+                ("downtime_migration_cycles", window_migration),
+                ("downtime_rekey_cycles", window_rekey),
+            ):
+                take = min(part, TRIAL_WINDOW_CYCLES - taken)
+                setattr(cell, attr, getattr(cell, attr) + take)
+                taken += take
+            cell.downtime_cycles += taken
+        ledger["downtime_cycles"] = cell.downtime_cycles
+
+        observation = channel.snapshot(window)
+        cell.observations.append(observation.as_dict())
+        attacker.observe(observation)
+        if checker is not None:
+            checker.run_all(context=f"adaptive {strategy} window {window}")
+
+    cell.survived_windows = (
+        windows if first_panic_window is None else first_panic_window
+    )
+    cell.final_strategy = attacker.active.name
+    cell.strategy_switches = [switch.as_dict() for switch in attacker.switches]
+    if manager is not None:
+        cell.rows_retired = manager.stats.get("rows_retired")
+        cell.adaptive_rekeys = manager.stats.get("adaptive_rekeys")
+        cell.spare_rows_left = system.dram.spare_rows_free
+    if system.guard is not None:
+        cell.rekeys_suppressed = system.guard.stats.get(
+            "adaptive_rekeys_suppressed"
+        )
+    cell.retirements_exhausted = controller.stats.get(
+        "row_retirements_exhausted"
+    )
+    if checker is not None:
+        cell.invariant_sweeps = checker.stats.get("sweeps")
+    cell.outcomes = outcomes
+    return cell
+
+
+def adaptive_siege_cell_job(
+    strategy: str,
+    windows: int,
+    seed: int,
+    workload: str,
+    validate: bool,
+    recovery: Optional[dict],
+    label: Optional[str] = None,
+):
+    """The :class:`SimJob` form of one adaptive siege cell."""
+    from repro.harness.parallel import SimJob
+
+    return SimJob(
+        kind="adaptive_siege_cell",
+        params={
+            "strategy": strategy,
+            "windows": windows,
+            "seed": seed,
+            "workload": workload,
+            "validate": validate,
+            "recovery": recovery,
+        },
+        label=label or f"adaptive-siege/{strategy}",
+    )
 
 
 # -- fabric integration --------------------------------------------------------

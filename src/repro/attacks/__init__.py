@@ -1,9 +1,18 @@
 """Attacks and prior defenses: hammer patterns, the Fig-3 exploit chain,
 and the mitigations PT-Guard is compared against."""
 
+from repro.attacks.adaptive import (
+    ALL_STRATEGIES,
+    STRATEGY_ORDER,
+    AdaptiveAttacker,
+    Observation,
+    ObservationChannel,
+    make_attacker,
+)
 from repro.attacks.defenses import (
     PARA,
     TRR,
+    BlockhammerThrottle,
     CounterTRR,
     MonotonicPlacement,
     SecWalkChecker,
@@ -13,8 +22,15 @@ from repro.attacks.exploit import ExploitOutcome, PrivilegeEscalationExploit
 from repro.attacks.hammer import HammerAttack, HammerReport
 
 __all__ = [
+    "ALL_STRATEGIES",
+    "STRATEGY_ORDER",
+    "AdaptiveAttacker",
+    "Observation",
+    "ObservationChannel",
+    "make_attacker",
     "PARA",
     "TRR",
+    "BlockhammerThrottle",
     "CounterTRR",
     "MonotonicPlacement",
     "SecWalkChecker",

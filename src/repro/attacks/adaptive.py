@@ -1,0 +1,608 @@
+"""The closed-loop adaptive adversary (ROADMAP item 5).
+
+The PR-5 siege drives *fixed* attack intensities — an open-loop stress
+test. DAPPER's lesson (PAPERS.md) is that defenses which absorb static
+pressure collapse under adaptive performance attacks that exploit the
+defense's own response machinery: every adaptive rekey is a Sec VII-B
+full-memory sweep the attacker gets for free, every row migration is
+paid downtime, and the storm brake that prevents rekey DoS leaks timing
+the attacker can observe. PThammer adds the access vector: page-walk
+traffic hammers page-table rows without the attacker ever issuing an
+explicit load the tracker could attribute.
+
+Three pieces live here:
+
+* :class:`ObservationChannel` / :class:`Observation` — the deterministic
+  defense-visible telemetry snapshot taken once per exposure window:
+  adaptive rekeys fired/suppressed, rows retired, spare budget left,
+  corrected/uncorrectable counts, panics, throttle blocks, cumulative
+  downtime. Everything is a counter read off live simulator objects —
+  no clocks, no randomness — so the sequence is bit-identical across
+  runs, backends, and ``--resume`` replay.
+
+* The strategies — :data:`STRATEGY_ORDER` names four seed-addressed
+  attack programs (:class:`LowAndSlowStrategy`,
+  :class:`RekeyBurstStrategy`, :class:`SpareExhaustionStrategy`,
+  :class:`PThammerImplicitStrategy`). Each turns the latest observation
+  into a :class:`WindowPlan` of :class:`HammerOp` s under the shared
+  per-window activation budget (:data:`ACTIVATION_BUDGET`).
+
+* :class:`AdaptiveAttacker` — the deterministic strategy-switching
+  controller. It escalates down the ladder when observations show the
+  current strategy being absorbed (no panics, damage below threshold),
+  reacts to persistent throttling by going implicit, abandons spare
+  exhaustion once the budget is drained, and — after every strategy has
+  had a turn — locks onto the most damaging one observed.
+
+Fault crafting is also here (:func:`craft_bit_offsets`): the adversary
+builds its own disturbance patterns from the same deterministic digest
+primitives as :mod:`repro.faults.inject`, rather than reusing the
+campaign's scenario registry — an attacker shapes faults, a campaign
+samples them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.faults.inject import PTE_BITS, PTES_PER_LINE, deterministic_choice
+
+#: Hammer-pressure units one exposure window affords the adversary.
+#: Calibrated so the strongest explicit plan lands ~3 uncorrectable-grade
+#: faults per window — enough to break trigger-happy policies through
+#: their own response machinery, not enough to brute-force any policy.
+ACTIVATION_BUDGET = 96
+
+#: Activation cost per explicit hammer op. A "kill" (guaranteed
+#: uncorrectable multi-bit pattern) needs sustained many-sided pressure;
+#: a "probe" (double bit, usually absorbed by best-effort correction)
+#: and a "single" are progressively cheaper.
+OP_COSTS: Dict[str, int] = {"single": 3, "probe": 6, "kill": 32}
+
+#: Page walks of implicit pressure per kill-grade disturbance: walker
+#: traffic is diffuse, so the implicit vector is less activation-
+#: efficient than explicit hammering — its payoff is throttle immunity.
+IMPLICIT_KILL_WALKS = 32
+
+#: Walker translations the implicit mode issues per window.
+IMPLICIT_WALKS_PER_WINDOW = 64
+
+#: The escalation ladder, stealthiest first.
+STRATEGY_ORDER: Tuple[str, ...] = (
+    "low_slow",
+    "rekey_burst",
+    "spare_exhaustion",
+    "pthammer_implicit",
+)
+
+#: Strategy names :func:`make_attacker` accepts ("escalate" = the
+#: switching controller over the full ladder).
+ESCALATE = "escalate"
+ALL_STRATEGIES: Tuple[str, ...] = STRATEGY_ORDER + (ESCALATE,)
+
+
+# -- observation surface ------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Observation:
+    """Defense-visible telemetry at the end of one exposure window.
+
+    All counters are cumulative since the siege began; strategies work
+    on deltas between consecutive observations. ``spare_rows_free`` is
+    the only gauge.
+    """
+
+    window: int
+    rekeys_fired: int
+    rekeys_suppressed: int
+    incidents: int
+    rows_retired: int
+    spare_rows_free: int
+    corrected: int
+    uncorrectable: int
+    panics: int
+    throttled_ops: int
+    downtime_cycles: int
+
+    def as_dict(self) -> Dict[str, int]:
+        """JSON-able form (ordered by field declaration)."""
+        return asdict(self)
+
+
+class ObservationChannel:
+    """Snapshots the defense's observable state once per window.
+
+    Reads only counters the threat model grants the attacker: guard
+    rekey statistics (epoch rotations are globally visible events),
+    retirement and spare-budget state (migration stalls are timeable),
+    the outcome ledger the siege loop maintains (corrected faults,
+    uncorrectable incidents, panics — all timing-observable), and the
+    throttle's block count (a refused activation is directly felt).
+    """
+
+    def __init__(self, system, manager=None, throttle=None):
+        self.system = system
+        self.manager = manager
+        self.throttle = throttle
+        #: Counters the siege loop increments as it classifies outcomes.
+        self.ledger: Dict[str, int] = {
+            "corrected": 0,
+            "uncorrectable": 0,
+            "panics": 0,
+            "downtime_cycles": 0,
+        }
+
+    def snapshot(self, window: int) -> Observation:
+        guard = self.system.guard
+        manager = self.manager
+        return Observation(
+            window=window,
+            rekeys_fired=(
+                guard.stats.get("adaptive_rekey_triggers") if guard else 0
+            ),
+            rekeys_suppressed=(
+                guard.stats.get("adaptive_rekeys_suppressed") if guard else 0
+            ),
+            incidents=guard.stats.get("incidents") if guard else 0,
+            rows_retired=(
+                manager.stats.get("rows_retired") if manager is not None else 0
+            ),
+            spare_rows_free=self.system.dram.spare_rows_free,
+            corrected=self.ledger["corrected"],
+            uncorrectable=self.ledger["uncorrectable"],
+            panics=self.ledger["panics"],
+            throttled_ops=(
+                self.throttle.blocked if self.throttle is not None else 0
+            ),
+            downtime_cycles=self.ledger["downtime_cycles"],
+        )
+
+
+# -- attack plans -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class HammerOp:
+    """One disturbance the attacker attempts inside a window.
+
+    ``row_index`` indexes the siege's deterministic row inventory
+    (``hot=True`` indexes the walk-heat ordering instead — rows hosting
+    the most leaf PTEs, the ones implicit walker traffic concentrates
+    on). ``implicit`` ops ride on page-walk pressure and never face the
+    activation throttle.
+    """
+
+    kind: str  # "single" | "probe" | "kill"
+    row_index: int
+    hot: bool = False
+    implicit: bool = False
+
+    @property
+    def cost(self) -> int:
+        return OP_COSTS[self.kind]
+
+
+@dataclass(frozen=True)
+class WindowPlan:
+    """Everything the attacker does in one exposure window."""
+
+    ops: Tuple[HammerOp, ...] = ()
+    walks: int = 0
+
+    @property
+    def explicit_cost(self) -> int:
+        return sum(op.cost for op in self.ops if not op.implicit)
+
+
+def craft_bit_offsets(
+    seed: int,
+    kind: str,
+    channel: str,
+    key: str,
+    protected: Sequence[int],
+) -> Tuple[int, ...]:
+    """Deterministic bit pattern for one hammer op.
+
+    ``single``/``probe`` mimic the natural one/two-bit disturbances the
+    campaign's scenarios model. ``kill`` is the adversary's engineered
+    worst case: six distinct protected bits concentrated in one PTE plus
+    one in each of two neighbours — past every best-effort correction
+    step, so it reliably lands detected-uncorrectable.
+    """
+    if kind == "single":
+        pte = deterministic_choice(seed, channel + ":pte", key, PTES_PER_LINE)
+        bit = protected[
+            deterministic_choice(seed, channel + ":bit", key, len(protected))
+        ]
+        return (pte * PTE_BITS + bit,)
+    if kind == "probe":
+        combos = PTES_PER_LINE * len(protected)
+        first = deterministic_choice(seed, channel + ":first", key, combos)
+        second = deterministic_choice(seed, channel + ":second", key, combos - 1)
+        if second >= first:
+            second += 1
+        offsets = []
+        for combo in (first, second):
+            pte, index = divmod(combo, len(protected))
+            offsets.append(pte * PTE_BITS + protected[index])
+        return tuple(sorted(offsets))
+    if kind == "kill":
+        focus = deterministic_choice(
+            seed, channel + ":focus", key, PTES_PER_LINE - 2
+        )
+        picks: List[int] = []
+        draw = 0
+        while len(picks) < 6:
+            bit = protected[
+                deterministic_choice(
+                    seed, channel + ":kbit", f"{key}:{draw}", len(protected)
+                )
+            ]
+            draw += 1
+            if bit not in picks:
+                picks.append(bit)
+        offsets = [focus * PTE_BITS + bit for bit in picks]
+        for spread, neighbor in ((1, focus + 1), (2, focus + 2)):
+            bit = protected[
+                deterministic_choice(
+                    seed, channel + f":nbit{spread}", key, len(protected)
+                )
+            ]
+            offsets.append(neighbor * PTE_BITS + bit)
+        return tuple(sorted(set(offsets)))
+    raise ValueError(f"unknown hammer op kind {kind!r}")
+
+
+# -- strategies ---------------------------------------------------------------
+
+
+class AttackStrategy:
+    """Base: a seed-addressed program from observations to window plans."""
+
+    name = "base"
+
+    def __init__(self, seed: int):
+        self.seed = seed
+
+    def _choice(self, field_name: str, key: str, n: int) -> int:
+        return deterministic_choice(
+            self.seed, f"adaptive:{self.name}:{field_name}", key, n
+        )
+
+    @staticmethod
+    def _delta(
+        last: Optional[Observation], prev: Optional[Observation], field_name: str
+    ) -> int:
+        if last is None:
+            return 0
+        before = getattr(prev, field_name) if prev is not None else 0
+        return getattr(last, field_name) - before
+
+    def plan(
+        self,
+        window: int,
+        n_rows: int,
+        last: Optional[Observation],
+        prev: Optional[Observation],
+    ) -> WindowPlan:
+        raise NotImplementedError
+
+
+class LowAndSlowStrategy(AttackStrategy):
+    """Tracker evasion: one kill per window, spread thin.
+
+    Stays far below the throttle's per-row quota and the rekey window's
+    trigger rate, so the defense sees a trickle it cannot distinguish
+    from environmental faults — yet one uncorrectable fault per window
+    is fatal to any policy without reconstruction.
+    """
+
+    name = "low_slow"
+
+    def plan(self, window, n_rows, last, prev):
+        row = self._choice("row", str(window), n_rows)
+        ops = [
+            HammerOp(kind="kill", row_index=row),
+            HammerOp(kind="single", row_index=(row + 1) % n_rows),
+            HammerOp(kind="single", row_index=(row + 2) % n_rows),
+        ]
+        return WindowPlan(ops=tuple(ops))
+
+
+class RekeyBurstStrategy(AttackStrategy):
+    """Cooldown-timed incident bursts: the rekey machinery as a DoS lever.
+
+    Maximizes detected-uncorrectable incidents per window so the guard's
+    sliding window saturates and every cooldown expiry buys the attacker
+    a full Sec VII-B key sweep of downtime. Observed suppressions
+    (``rekeys_suppressed`` rising) confirm the storm brake is engaged —
+    the window is already saturated, so sustained pressure converts each
+    cooldown expiry into a rekey. Starts focused on one row; when the
+    throttle visibly blocks ops, spreads the burst across two rows just
+    under the per-row quota; and every observed retirement shifts the
+    anchor — hammering a retired row's cells is wasted pressure, since
+    accesses have been remapped away from them.
+    """
+
+    name = "rekey_burst"
+
+    def __init__(self, seed: int):
+        super().__init__(seed)
+        self._spread = False
+
+    def plan(self, window, n_rows, last, prev):
+        if self._delta(last, prev, "throttled_ops") > 0:
+            self._spread = True
+        retired = last.rows_retired if last is not None else 0
+        anchor = (self._choice("anchor", "0", n_rows) + retired) % n_rows
+        kills = ACTIVATION_BUDGET // OP_COSTS["kill"]
+        ops = []
+        for index in range(kills):
+            offset = (index % 2) if self._spread else 0
+            ops.append(
+                HammerOp(kind="kill", row_index=(anchor + offset) % n_rows)
+            )
+        return WindowPlan(ops=tuple(ops))
+
+
+class SpareExhaustionStrategy(AttackStrategy):
+    """Spread retirements across many rows to drain the spare budget.
+
+    Pairs kills on each row so eager retirement thresholds trip quickly,
+    then moves on — every migration is paid downtime, and once
+    ``spare_rows_free`` hits zero a retire-only policy has nothing left
+    but panic. The cursor rotation is a pure function of the window.
+    """
+
+    name = "spare_exhaustion"
+
+    def plan(self, window, n_rows, last, prev):
+        base = self._choice("base", "0", n_rows)
+        kills = ACTIVATION_BUDGET // OP_COSTS["kill"]
+        ops = []
+        for index in range(kills):
+            # 2-1-2-1… pairing: (w0: A A B) (w1: B C C) — every row
+            # reaches two faults across adjacent windows.
+            slot = window * kills + index
+            ops.append(
+                HammerOp(kind="kill", row_index=(base + slot // 2) % n_rows)
+            )
+        return WindowPlan(ops=tuple(ops))
+
+
+class PThammerImplicitStrategy(AttackStrategy):
+    """PThammer: hammering pressure purely from page-walk traffic.
+
+    The attacker issues translations whose walks re-read page-table
+    lines (TLB and MMU caches flushed by eviction, as PThammer does), so
+    the activation pressure lands on PTE rows without one attributable
+    explicit access — the throttle never sees it. Less efficient per
+    activation (:data:`IMPLICIT_KILL_WALKS`), and concentrated on the
+    walk-hottest rows, which is where walker traffic naturally lands.
+    Observed retirements advance the cursor down the heat ranking: the
+    defense retires exactly the rows being pressured, so the offset
+    lands on the hottest rows still backed by their original cells.
+    """
+
+    name = "pthammer_implicit"
+
+    def plan(self, window, n_rows, last, prev):
+        walks = IMPLICIT_WALKS_PER_WINDOW
+        kills = min(
+            walks // IMPLICIT_KILL_WALKS,
+            ACTIVATION_BUDGET // OP_COSTS["kill"],
+        )
+        retired = last.rows_retired if last is not None else 0
+        ops = [
+            HammerOp(
+                kind="kill", row_index=retired + index, hot=True, implicit=True
+            )
+            for index in range(kills)
+        ]
+        return WindowPlan(ops=tuple(ops), walks=walks)
+
+
+_STRATEGY_CLASSES = {
+    LowAndSlowStrategy.name: LowAndSlowStrategy,
+    RekeyBurstStrategy.name: RekeyBurstStrategy,
+    SpareExhaustionStrategy.name: SpareExhaustionStrategy,
+    PThammerImplicitStrategy.name: PThammerImplicitStrategy,
+}
+
+
+def make_strategy(name: str, seed: int) -> AttackStrategy:
+    try:
+        return _STRATEGY_CLASSES[name](seed)
+    except KeyError:
+        raise ValueError(
+            f"unknown attack strategy {name!r}; "
+            f"available: {', '.join(STRATEGY_ORDER)}"
+        ) from None
+
+
+# -- the switching controller -------------------------------------------------
+
+
+@dataclass
+class StrategySwitch:
+    """One controller decision, recorded for the determinism tests."""
+
+    window: int
+    from_strategy: str
+    to_strategy: str
+    reason: str
+
+    def as_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+
+class AdaptiveAttacker:
+    """Deterministic strategy-switching controller over the ladder.
+
+    Escalation rules, evaluated in fixed order after every observation:
+
+    1. **throttled** — the throttle blocked ops in each of the last two
+       windows despite the strategy's own evasion: go implicit.
+    2. **spares_drained** — spare-exhaustion's lever is gone
+       (``spare_rows_free`` is zero): move on.
+    3. **absorbed** — ``patience`` windows with no panics and damage
+       below ``damage_threshold_cycles`` per window: the defense is
+       absorbing this strategy; escalate to the next untried one. Once
+       every strategy has had a turn, lock onto the most damaging
+       (mean downtime delta per active window, ladder order breaking
+       ties).
+    """
+
+    def __init__(
+        self,
+        strategies: Optional[Sequence[str]] = None,
+        seed: int = 0,
+        switching: bool = True,
+        patience: int = 3,
+        damage_threshold_cycles: int = 20_000,
+    ):
+        names = tuple(strategies) if strategies else STRATEGY_ORDER
+        self.ladder = [make_strategy(name, seed) for name in names]
+        self.seed = seed
+        self.switching = switching and len(self.ladder) > 1
+        self.patience = patience
+        self.damage_threshold_cycles = damage_threshold_cycles
+        self.switches: List[StrategySwitch] = []
+        self.observations: List[Observation] = []
+        self._active_index = 0
+        self._windows_on_active = 0
+        self._tried = {self.ladder[0].name}
+        self._locked = False
+        #: per strategy: [active windows, downtime cycles attributed]
+        self._damage: Dict[str, List[int]] = {
+            strategy.name: [0, 0] for strategy in self.ladder
+        }
+        self._throttled_streak = 0
+
+    @property
+    def active(self) -> AttackStrategy:
+        return self.ladder[self._active_index]
+
+    def plan(self, window: int, n_rows: int) -> WindowPlan:
+        last = self.observations[-1] if self.observations else None
+        prev = self.observations[-2] if len(self.observations) > 1 else None
+        return self.active.plan(window, n_rows, last, prev)
+
+    def observe(self, observation: Observation) -> None:
+        prev = self.observations[-1] if self.observations else None
+        self.observations.append(observation)
+        self._windows_on_active += 1
+        damage = self._damage[self.active.name]
+        damage[0] += 1
+        damage[1] += AttackStrategy._delta(observation, prev, "downtime_cycles")
+        if AttackStrategy._delta(observation, prev, "throttled_ops") > 0:
+            self._throttled_streak += 1
+        else:
+            self._throttled_streak = 0
+        if not self.switching:
+            return
+        self._maybe_switch(observation)
+
+    # -- switching rules ----------------------------------------------
+
+    def _maybe_switch(self, observation: Observation) -> None:
+        active = self.active.name
+        if (
+            self._throttled_streak >= 2
+            and active != PThammerImplicitStrategy.name
+            and any(
+                s.name == PThammerImplicitStrategy.name for s in self.ladder
+            )
+        ):
+            self._switch_to(
+                PThammerImplicitStrategy.name, observation.window, "throttled"
+            )
+            return
+        if (
+            active == SpareExhaustionStrategy.name
+            and observation.spare_rows_free == 0
+            and self._windows_on_active >= 2
+        ):
+            self._escalate(observation.window, "spares_drained")
+            return
+        if self._windows_on_active >= self.patience and self._absorbed():
+            self._escalate(observation.window, "absorbed")
+
+    def _absorbed(self) -> bool:
+        recent = self.observations[-self.patience:]
+        if len(recent) < self.patience:
+            return False
+        anchor_index = len(self.observations) - self.patience - 1
+        anchor = (
+            self.observations[anchor_index] if anchor_index >= 0 else None
+        )
+        panic_delta = AttackStrategy._delta(recent[-1], anchor, "panics")
+        downtime_delta = AttackStrategy._delta(
+            recent[-1], anchor, "downtime_cycles"
+        )
+        return (
+            panic_delta == 0
+            and downtime_delta < self.damage_threshold_cycles * self.patience
+        )
+
+    def _escalate(self, window: int, reason: str) -> None:
+        untried = [
+            strategy.name
+            for strategy in self.ladder
+            if strategy.name not in self._tried
+        ]
+        if untried:
+            self._switch_to(untried[0], window, reason)
+            return
+        if self._locked:
+            return
+        # Everyone has had a turn: lock onto the most damaging strategy
+        # (mean downtime per active window; ladder order breaks ties).
+        best = max(
+            self.ladder,
+            key=lambda s: (
+                self._damage[s.name][1] / max(1, self._damage[s.name][0])
+            ),
+        )
+        self._locked = True
+        if best.name != self.active.name:
+            self._switch_to(best.name, window, "locked")
+
+    def _switch_to(self, name: str, window: int, reason: str) -> None:
+        if name == self.active.name:
+            return
+        previous = self.active.name
+        for index, strategy in enumerate(self.ladder):
+            if strategy.name == name:
+                self._active_index = index
+                break
+        self._tried.add(name)
+        self._windows_on_active = 0
+        self._throttled_streak = 0
+        self.switches.append(
+            StrategySwitch(
+                window=window,
+                from_strategy=previous,
+                to_strategy=name,
+                reason=reason,
+            )
+        )
+
+
+def make_attacker(strategy: str, seed: int) -> AdaptiveAttacker:
+    """Build the attacker for one siege cell.
+
+    A concrete strategy name pins the attacker to that strategy
+    (switching disabled — the frontier isolates per-strategy behaviour);
+    :data:`ESCALATE` runs the full switching controller over the ladder.
+    """
+    if strategy == ESCALATE:
+        return AdaptiveAttacker(seed=seed, switching=True)
+    if strategy not in STRATEGY_ORDER:
+        raise ValueError(
+            f"unknown attack strategy {strategy!r}; "
+            f"available: {', '.join(ALL_STRATEGIES)}"
+        )
+    return AdaptiveAttacker(strategies=[strategy], seed=seed, switching=False)

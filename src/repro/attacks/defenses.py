@@ -224,6 +224,58 @@ class CompositeMitigation:
         return sum(getattr(layer, "refreshes_issued", 0) for layer in self.layers)
 
 
+class BlockhammerThrottle:
+    """BlockHammer-style per-row activation throttling [BlockHammer, HPCA'21].
+
+    Tracks explicit activation pressure per DRAM row inside each exposure
+    window and refuses ops that would push a row past ``quota`` — the
+    memory controller simply does not schedule them. Two properties the
+    adaptive siege leans on:
+
+    * a refused activation is *observable*: the attacker's op never
+      executes, which is a throttle signal the adversary reads directly
+      (:class:`repro.attacks.adaptive.ObservationChannel`);
+    * only attributable, explicit requests are throttled. PThammer-style
+      pressure carried by the page walker is victim traffic from the
+      scheduler's point of view and passes untouched — exactly the blind
+      spot the implicit strategy exploits.
+    """
+
+    name = "BlockhammerThrottle"
+
+    #: Default per-row activation quota per exposure window, in the same
+    #: units as :data:`repro.attacks.adaptive.OP_COSTS` (a focused
+    #: attacker fits two kill-grade ops on one row, never three).
+    DEFAULT_QUOTA = 64
+
+    def __init__(self, quota: int = DEFAULT_QUOTA):
+        if quota < 1:
+            raise ValueError("throttle quota must be >= 1")
+        self.quota = quota
+        self._pressure: Dict[RowKey, int] = {}
+        #: Cumulative ops refused — the defense-visible throttle signal.
+        self.blocked = 0
+        #: Cumulative ops admitted.
+        self.admitted = 0
+
+    def begin_window(self) -> None:
+        """A refresh window elapsed: per-row pressure decays to zero."""
+        self._pressure.clear()
+
+    def request(self, row_key: RowKey, cost: int) -> bool:
+        """May an explicit op land ``cost`` activations on ``row_key``?"""
+        used = self._pressure.get(row_key, 0)
+        if used + cost > self.quota:
+            self.blocked += 1
+            return False
+        self._pressure[row_key] = used + cost
+        self.admitted += 1
+        return True
+
+    def pressure(self, row_key: RowKey) -> int:
+        return self._pressure.get(row_key, 0)
+
+
 # -- PTE-level protections ---------------------------------------------------
 
 

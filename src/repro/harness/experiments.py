@@ -301,6 +301,36 @@ def experiment_siege(
     return format_siege_report(cells)
 
 
+def experiment_frontier(
+    scale: float = 1.0,
+    workers: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+    validate: Optional[bool] = None,
+    strategies: Optional[list] = None,
+    policy_grid: Optional[str] = None,
+    windows: Optional[int] = None,
+) -> str:
+    """Worst-case availability frontier: every recovery policy in the
+    search grid against every adaptive attack strategy
+    (:mod:`repro.analysis.frontier_eval`)."""
+    from repro.analysis.frontier_eval import format_frontier_report, run_frontier
+    from repro.faults.invariants import validation_enabled
+
+    if validate is None:
+        validate = validation_enabled()
+    if windows is None:
+        windows = max(8, int(48 * scale))
+    rows, cells = run_frontier(
+        windows=windows,
+        validate=validate,
+        policies=policy_grid,
+        strategies=strategies,
+        workers=workers,
+        cache=cache,
+    )
+    return format_frontier_report(rows, cells)
+
+
 def experiment_security_analysis() -> str:
     """Sections IV-G and VI-E: the analytical security model."""
     out = [banner("Security analysis (Eq 1, Eq 2)")]
@@ -442,4 +472,5 @@ EXPERIMENTS = {
     "multicore": experiment_multicore,
     "campaign": experiment_campaign,
     "siege": experiment_siege,
+    "frontier": experiment_frontier,
 }

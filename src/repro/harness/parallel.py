@@ -316,6 +316,25 @@ def _decode_siege_cell(payload):
     return SiegeCell(**payload)
 
 
+def _run_adaptive_siege_cell(params: Mapping[str, Any]):
+    from repro.analysis.siege_eval import run_adaptive_siege_cell
+
+    return run_adaptive_siege_cell(
+        strategy=params["strategy"],
+        windows=params["windows"],
+        seed=params["seed"],
+        workload=params["workload"],
+        validate=params.get("validate", False),
+        recovery=params.get("recovery"),
+    )
+
+
+def _decode_adaptive_siege_cell(payload):
+    from repro.analysis.siege_eval import AdaptiveSiegeCell
+
+    return AdaptiveSiegeCell(**payload)
+
+
 register_job_kind(
     "workload_run", _run_workload_job, _encode_core_result, _decode_core_result
 )
@@ -337,6 +356,12 @@ register_job_kind(
     _run_siege_cell,
     _encode_siege_cell,
     _decode_siege_cell,
+)
+register_job_kind(
+    "adaptive_siege_cell",
+    _run_adaptive_siege_cell,
+    _encode_siege_cell,
+    _decode_adaptive_siege_cell,
 )
 
 

@@ -248,6 +248,31 @@ def _build_parser() -> argparse.ArgumentParser:
         help="override the recovery policy's adaptive-rekey incident "
         "threshold (incidents per sliding window)",
     )
+    parser.add_argument(
+        "--strategies",
+        type=str,
+        default=None,
+        metavar="A,B,...",
+        help="comma-separated adaptive-strategy subset for the frontier "
+        "experiment: low_slow, rekey_burst, spare_exhaustion, "
+        "pthammer_implicit, escalate (default: all)",
+    )
+    parser.add_argument(
+        "--policy-grid",
+        type=str,
+        default=None,
+        metavar="NAME",
+        help="recovery-policy candidate set for the frontier experiment: "
+        "default or quick (see repro.recovery.search)",
+    )
+    parser.add_argument(
+        "--windows",
+        type=int,
+        default=None,
+        metavar="N",
+        help="exposure windows per frontier siege cell "
+        "(default: derived from --scale)",
+    )
     return parser
 
 
@@ -295,6 +320,32 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"--workloads: unknown workload(s) {', '.join(unknown)} "
                 f"(choose from {', '.join(sorted(WORKLOADS_BY_NAME))})"
             )
+
+    strategy_subset = None
+    if args.strategies:
+        from repro.attacks.adaptive import ALL_STRATEGIES
+
+        strategy_subset = [
+            name.strip() for name in args.strategies.split(",") if name.strip()
+        ]
+        unknown = sorted(set(strategy_subset) - set(ALL_STRATEGIES))
+        if unknown:
+            parser.error(
+                f"--strategies: unknown strategy(ies) {', '.join(unknown)} "
+                f"(choose from {', '.join(ALL_STRATEGIES)})"
+            )
+
+    if args.policy_grid is not None:
+        from repro.recovery.search import POLICY_GRIDS
+
+        if args.policy_grid not in POLICY_GRIDS:
+            parser.error(
+                f"--policy-grid: unknown grid {args.policy_grid!r} "
+                f"(choose from {', '.join(sorted(POLICY_GRIDS))})"
+            )
+
+    if args.windows is not None and args.windows < 1:
+        parser.error("--windows must be >= 1")
 
     scenario_subset = None
     if args.campaign:
@@ -376,7 +427,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         with execution_policy(policy):
             return _run_experiments(
                 args, cache, names, timings, failures, workload_subset,
-                scenario_subset, recovery_params,
+                scenario_subset, recovery_params, strategy_subset,
             )
     except KeyboardInterrupt:
         print("interrupted — rerun with --resume", file=sys.stderr)
@@ -524,7 +575,7 @@ def _raise_terminated(signum, frame):
 
 def _run_experiments(
     args, cache, names, timings, failures, workload_subset, scenario_subset=None,
-    recovery_params=None,
+    recovery_params=None, strategy_subset=None,
 ) -> int:
     """The experiment loop; KeyboardInterrupt propagates to main()."""
     for name in names:
@@ -545,6 +596,12 @@ def _run_experiments(
             kwargs["validate"] = True
         if "recovery" in parameters and recovery_params is not None:
             kwargs["recovery"] = recovery_params
+        if "strategies" in parameters and strategy_subset is not None:
+            kwargs["strategies"] = strategy_subset
+        if "policy_grid" in parameters and args.policy_grid is not None:
+            kwargs["policy_grid"] = args.policy_grid
+        if "windows" in parameters and args.windows is not None:
+            kwargs["windows"] = args.windows
         start = time.time()
         try:
             report = function(**kwargs)

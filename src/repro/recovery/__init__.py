@@ -17,12 +17,21 @@ state machine:
 * :class:`~repro.recovery.manager.RecoveryManager` — the state machine
   itself: reconstruct → retire → rekey → panic, with availability and
   latency accounting for the siege experiments.
+* :mod:`~repro.recovery.search` — the policy search space the
+  worst-case availability frontier evaluates (``--policy-grid``) and
+  the hardened point it converges on.
 """
 
 from repro.recovery.policy import (
     RECOVERY_POLICIES,
     RecoveryPolicy,
     recovery_policy,
+)
+from repro.recovery.search import (
+    AVAILABILITY_TARGET,
+    POLICY_GRIDS,
+    hardened_policy,
+    policy_grid,
 )
 from repro.recovery.shadow import ShadowEntry, ShadowMap
 from repro.recovery.manager import RecoveryEvent, RecoveryManager
@@ -31,6 +40,10 @@ __all__ = [
     "RECOVERY_POLICIES",
     "RecoveryPolicy",
     "recovery_policy",
+    "AVAILABILITY_TARGET",
+    "POLICY_GRIDS",
+    "hardened_policy",
+    "policy_grid",
     "ShadowEntry",
     "ShadowMap",
     "RecoveryEvent",

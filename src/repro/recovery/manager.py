@@ -55,6 +55,10 @@ class RecoveryEvent:
     rekeyed: bool = False
     #: guard key epoch after the response completed
     epoch: int = 0
+    #: per-stage cycle attribution ("trap" / "reconstruct" / "migrate" /
+    #: "rekey"); values always sum to ``latency_cycles``, so downtime is
+    #: attributable without double counting
+    stage_cycles: Dict[str, int] = field(default_factory=dict)
 
 
 class RecoveryManager:
@@ -67,6 +71,12 @@ class RecoveryManager:
         self.stats = StatGroup("recovery")
         self.events: List[RecoveryEvent] = []
         self._row_faults: Dict[RowKey, int] = {}
+        # Latched on the first failed retirement: once the spare budget
+        # is gone it never refills, so later events fall straight back to
+        # reconstruction instead of re-attempting (and re-counting) an
+        # exhausted migration. Keeps ``row_retirements_exhausted`` an
+        # edge counter, not a per-fault drumbeat, under sustained attack.
+        self._spares_exhausted = False
         guard = self.controller.ptguard
         if guard is not None and self.policy.rekey_enabled:
             guard.arm_adaptive_rekey(
@@ -84,6 +94,7 @@ class RecoveryManager:
         row_key = dram.mapper.row_key_of(line_address)
         self._row_faults[row_key] = self._row_faults.get(row_key, 0) + 1
         cycles = policy.trap_overhead_cycles
+        stage_cycles: Dict[str, int] = {"trap": policy.trap_overhead_cycles}
         stages: List[str] = []
         recovered = False
 
@@ -93,18 +104,30 @@ class RecoveryManager:
                 line_address
             )
             cycles += reconstruct_cycles
+            stage_cycles["reconstruct"] = reconstruct_cycles
 
+        # Stage order is load-bearing: the retire fallback (including the
+        # exhausted-budget verdict) resolves *before* any rekey
+        # accounting, so a spare-exhaustion and a rekey trigger landing
+        # in the same window attribute deterministically and never
+        # charge the same cycles twice.
         retired = False
         if (
             policy.retire_enabled
+            and not self._spares_exhausted
             and self._row_faults[row_key] >= policy.retire_threshold
         ):
             stages.append("retire")
             if self.controller.retire_row_of(line_address) is not None:
                 retired = True
-                cycles += self._migration_cycles()
+                migration = self._migration_cycles()
+                cycles += migration
+                stage_cycles["migrate"] = migration
                 # The spare starts with a clean slate of fault history.
                 self._row_faults.pop(row_key, None)
+            else:
+                self._spares_exhausted = True
+                self.stats.increment("retire_fallbacks")
 
         rekeyed = False
         guard = self.controller.ptguard
@@ -115,6 +138,7 @@ class RecoveryManager:
                 stages.append("rekey")
                 self.kernel.rekey_memory()
                 cycles += self.kernel.last_rekey_cycles
+                stage_cycles["rekey"] = self.kernel.last_rekey_cycles
                 rekeyed = True
 
         if recovered:
@@ -131,6 +155,7 @@ class RecoveryManager:
             retired=retired,
             rekeyed=rekeyed,
             epoch=guard.epoch if guard is not None else 0,
+            stage_cycles=stage_cycles,
         )
         self.events.append(event)
         self.stats.increment(f"events_{action}")

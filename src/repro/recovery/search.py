@@ -1,0 +1,101 @@
+"""Recovery-policy search space for the worst-case availability frontier.
+
+The frontier (:mod:`repro.analysis.frontier_eval`) asks, for every
+candidate :class:`repro.recovery.RecoveryPolicy`, "what is the *lowest*
+availability any adaptive strategy can force?" — a policy is only as
+good as its worst case. This module defines the candidate space that
+question runs over: the four CLI presets plus deliberately mis-tuned
+points along every knob axis (rekey threshold and cooldown, spare-row
+budget and retire threshold, stage gating), and the hardened point the
+search converges on.
+
+The hardened policy encodes the frontier's central finding — a
+DAPPER-style result where the defense's *own response machinery* is the
+attacker's best lever:
+
+* **adaptive rekeys off** — each Sec VII-B sweep costs a measured ~155 k
+  cycles; the ``rekey_burst`` strategy manufactures exactly the incident
+  rate that converts every cooldown expiry into an attacker-purchased
+  sweep. A hair-trigger threshold turns this into a rout.
+* **retirement gated high** — against an adversary that re-templates
+  after a migration, retirement buys little: the ``spare_exhaustion``
+  strategy farms each migration's cycles and then keeps hammering the
+  spare. A high threshold keeps the spares as insurance against a truly
+  hot row without handing out migrations for free.
+* **reconstruction on** — the one stage whose cost (a shadow-map
+  rebuild, ~5 k cycles) is smaller than the window it saves, under
+  every strategy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.common.errors import ConfigurationError
+from repro.recovery.policy import RECOVERY_POLICIES, RecoveryPolicy
+
+#: A policy "survives" a strategy when availability stays at or above
+#: this (0.99 == at most 20k downtime cycles per 2M-cycle window).
+AVAILABILITY_TARGET = 0.99
+
+
+def hardened_policy() -> RecoveryPolicy:
+    """The searched policy: stage gating tuned for the adaptive worst case."""
+    return RecoveryPolicy(
+        name="hardened",
+        reconstruct_enabled=True,
+        retire_enabled=True,
+        retire_threshold=24,
+        spare_rows=2,
+        rekey_enabled=False,
+    )
+
+
+def _search_points() -> List[RecoveryPolicy]:
+    """Mis-tuned grid points probing each knob axis of the policy space."""
+    return [
+        # Rekey axis: threshold down, cooldown off — every second
+        # incident buys the attacker a full key sweep.
+        RecoveryPolicy(
+            name="hair_trigger", rekey_threshold=2, rekey_cooldown=0
+        ),
+        # Retire axis: threshold 1 with a small budget — each fault is a
+        # migration until the spares drain.
+        RecoveryPolicy(
+            name="eager_retire",
+            retire_threshold=1,
+            spare_rows=4,
+            rekey_enabled=False,
+        ),
+        hardened_policy(),
+    ]
+
+
+#: Named candidate sets the CLI exposes via ``--policy-grid``.
+POLICY_GRIDS: Dict[str, List[RecoveryPolicy]] = {
+    "default": [
+        RECOVERY_POLICIES["none"],
+        RECOVERY_POLICIES["reconstruct"],
+        RECOVERY_POLICIES["retire"],
+        RECOVERY_POLICIES["full"],
+        *_search_points(),
+    ],
+    # The three-point smoke grid: seed behaviour, the paper default,
+    # and the searched policy — enough to show the separation.
+    "quick": [
+        RECOVERY_POLICIES["none"],
+        RECOVERY_POLICIES["full"],
+        hardened_policy(),
+    ],
+}
+
+
+def policy_grid(name: str) -> List[RecoveryPolicy]:
+    """Look up a candidate set by name with a one-line error."""
+    try:
+        return list(POLICY_GRIDS[name])
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown policy grid {name!r}; "
+            f"available: {', '.join(sorted(POLICY_GRIDS))}"
+        ) from None

@@ -29,6 +29,7 @@ from repro.service.chaos import (
 from repro.service.core import (
     AsyncFabricService,
     FabricService,
+    ReadyProbe,
     ServiceConfig,
     Submission,
 )
@@ -48,6 +49,7 @@ __all__ = [
     "FabricService",
     "FloodEntry",
     "JournalTail",
+    "ReadyProbe",
     "ServiceChaosPolicy",
     "ServiceConfig",
     "Submission",

@@ -136,6 +136,22 @@ class Submission:
     finished: threading.Event = field(default_factory=threading.Event)
 
 
+class ReadyProbe(dict):
+    """:meth:`FabricService.ready`'s structured answer.
+
+    A plain dict (JSON-able for probe endpoints) whose truthiness is the
+    ``ready`` flag, so existing ``if service.ready():`` callers keep
+    their meaning while new callers read the queue and breaker detail.
+    """
+
+    def __init__(self, ready: bool, queue: Dict[str, int],
+                 breakers: Dict[str, str]):
+        super().__init__(ready=ready, queue=queue, breakers=breakers)
+
+    def __bool__(self) -> bool:
+        return bool(self["ready"])
+
+
 def _is_transient_infra(error: BaseException) -> bool:
     """Did the *infrastructure* fail (backend health signal), as opposed
     to the job's own code? Retry-budget exhaustion inherits the verdict
@@ -601,16 +617,45 @@ class FabricService:
 
     # -- probes ------------------------------------------------------------
 
-    def ready(self) -> bool:
-        """Readiness: accepting submissions with queue headroom."""
+    def ready(self) -> Dict[str, Any]:
+        """Readiness probe: accepting submissions with queue headroom.
+
+        Structured so an orchestrator can log *why* the service refused:
+        the admission queue's current depth and headroom, and the breaker
+        state of every registered backend. Truthiness follows the
+        ``ready`` flag — ``if service.ready(): ...`` keeps working.
+        """
         with self._work:
-            return not self._closed and len(self._queue) < self._queue.depth
+            queued = len(self._queue)
+            accepting = not self._closed and queued < self._queue.depth
+            return ReadyProbe(
+                ready=accepting,
+                queue={
+                    "depth": self._queue.depth,
+                    "queued": queued,
+                    "headroom": max(0, self._queue.depth - queued),
+                },
+                breakers={
+                    name: self._breaker(name).state
+                    for name in sorted(BACKENDS)
+                },
+            )
 
     def health(self) -> Dict[str, Any]:
-        """Liveness + load snapshot for operators and the smoke job."""
+        """Liveness + load snapshot for operators and the smoke job.
+
+        ``breakers`` covers every registered backend keyed by name — a
+        backend that never ran reports a pristine closed breaker, so a
+        monitoring scrape sees the same shape regardless of traffic.
+        """
         with self._work:
-            breakers = [b.snapshot() for b in self._breakers.values()]
-            degraded = any(b["state"] != "closed" for b in breakers)
+            breakers = {
+                name: self._breaker(name).snapshot()
+                for name in sorted(BACKENDS)
+            }
+            degraded = any(
+                b["state"] != "closed" for b in breakers.values()
+            )
             return {
                 "status": (
                     "closed"

@@ -1,0 +1,297 @@
+"""Unit tests for the closed-loop adaptive adversary.
+
+Covers the pieces individually — the Blockhammer throttle, the
+adversary's fault crafting, per-window activation budgets, the
+strategy-switching controller's rules on synthetic telemetry — and then
+the assembled siege cell: determinism, the downtime-attribution
+identity, and the acceptance separation (a preset policy breaks under an
+adaptive strategy while the hardened policy holds the availability
+target against every strategy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+
+import pytest
+
+from repro.attacks.adaptive import (
+    ACTIVATION_BUDGET,
+    ALL_STRATEGIES,
+    IMPLICIT_WALKS_PER_WINDOW,
+    OP_COSTS,
+    STRATEGY_ORDER,
+    AdaptiveAttacker,
+    Observation,
+    craft_bit_offsets,
+    make_attacker,
+    make_strategy,
+)
+from repro.attacks.defenses import BlockhammerThrottle
+from repro.common.config import PTGuardConfig
+from repro.core import pattern
+from repro.faults.inject import PTE_BITS, PTES_PER_LINE
+
+SEED = 17
+ROW = ("c0", 0, 0, 5)
+PROTECTED = pattern.protected_bit_positions(PTGuardConfig().max_phys_bits)
+
+
+def _obs(window, **overrides):
+    """A synthetic Observation; every counter defaults to quiet."""
+    values = dict(
+        window=window,
+        rekeys_fired=0,
+        rekeys_suppressed=0,
+        incidents=0,
+        rows_retired=0,
+        spare_rows_free=8,
+        corrected=0,
+        uncorrectable=0,
+        panics=0,
+        throttled_ops=0,
+        downtime_cycles=0,
+    )
+    values.update(overrides)
+    return Observation(**values)
+
+
+# -- throttle -----------------------------------------------------------------
+
+
+class TestBlockhammerThrottle:
+    def test_quota_breach_blocks_and_counts(self):
+        throttle = BlockhammerThrottle(quota=64)
+        assert throttle.request(ROW, 32) is True
+        assert throttle.request(ROW, 32) is True
+        assert throttle.request(ROW, 32) is False, "third kill breaches quota"
+        assert throttle.blocked == 1
+        assert throttle.admitted == 2
+        assert throttle.pressure(ROW) == 64
+
+    def test_pressure_is_per_row(self):
+        throttle = BlockhammerThrottle(quota=8)
+        other = ("c0", 0, 0, 6)
+        assert throttle.request(ROW, 8) is True
+        assert throttle.request(other, 8) is True
+        assert throttle.pressure(ROW) == 8
+        assert throttle.pressure(other) == 8
+
+    def test_begin_window_decays_pressure_not_counters(self):
+        throttle = BlockhammerThrottle(quota=8)
+        throttle.request(ROW, 8)
+        throttle.request(ROW, 1)
+        assert throttle.blocked == 1
+        throttle.begin_window()
+        assert throttle.pressure(ROW) == 0
+        assert throttle.request(ROW, 8) is True
+        assert throttle.blocked == 1, "blocked is cumulative across windows"
+
+    def test_rejects_quota_below_one(self):
+        with pytest.raises(ValueError, match="quota"):
+            BlockhammerThrottle(quota=0)
+
+
+# -- fault crafting -----------------------------------------------------------
+
+
+class TestCraftBitOffsets:
+    def test_deterministic_per_address(self):
+        for kind in ("single", "probe", "kill"):
+            first = craft_bit_offsets(SEED, kind, "chan", "3:1", PROTECTED)
+            again = craft_bit_offsets(SEED, kind, "chan", "3:1", PROTECTED)
+            other = craft_bit_offsets(SEED, kind, "chan", "3:2", PROTECTED)
+            assert first == again
+            assert first != other or kind == "single"
+
+    @pytest.mark.parametrize(
+        "kind,count", [("single", 1), ("probe", 2), ("kill", 8)]
+    )
+    def test_offsets_distinct_and_in_line(self, kind, count):
+        offsets = craft_bit_offsets(SEED, kind, "chan", "0:0", PROTECTED)
+        assert len(offsets) == len(set(offsets)) == count
+        for offset in offsets:
+            assert 0 <= offset < PTES_PER_LINE * PTE_BITS
+            assert offset % PTE_BITS in PROTECTED
+
+    def test_kill_concentrates_past_correction(self):
+        """Six distinct protected bits in the focus PTE — beyond the
+        4-flip detection/correction reach, so the op reliably lands
+        detected-uncorrectable at the MAC layer."""
+        for key in ("0:0", "1:2", "7:1"):
+            offsets = craft_bit_offsets(SEED, "kill", "chan", key, PROTECTED)
+            per_pte: dict = {}
+            for offset in offsets:
+                per_pte.setdefault(offset // PTE_BITS, []).append(offset)
+            focus_flips = max(len(bits) for bits in per_pte.values())
+            assert focus_flips >= 6
+            assert len(per_pte) == 3, "focus plus two neighbour PTEs"
+
+    def test_unknown_kind_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown hammer op kind"):
+            craft_bit_offsets(SEED, "nuke", "chan", "0:0", PROTECTED)
+
+
+# -- strategies ---------------------------------------------------------------
+
+
+class TestStrategies:
+    @pytest.mark.parametrize("name", STRATEGY_ORDER)
+    def test_plans_respect_activation_budget(self, name):
+        strategy = make_strategy(name, SEED)
+        last = None
+        for window in range(6):
+            plan = strategy.plan(window, 8, last, None)
+            assert plan.explicit_cost <= ACTIVATION_BUDGET
+            for op in plan.ops:
+                assert op.kind in OP_COSTS
+            last = _obs(window)
+
+    @pytest.mark.parametrize("name", STRATEGY_ORDER)
+    def test_plans_are_deterministic(self, name):
+        plans_a = [
+            make_strategy(name, SEED).plan(w, 8, None, None) for w in range(4)
+        ]
+        plans_b = [
+            make_strategy(name, SEED).plan(w, 8, None, None) for w in range(4)
+        ]
+        assert plans_a == plans_b
+
+    def test_implicit_mode_rides_the_walker(self):
+        plan = make_strategy("pthammer_implicit", SEED).plan(0, 8, None, None)
+        assert plan.walks == IMPLICIT_WALKS_PER_WINDOW
+        assert plan.ops and all(op.implicit and op.hot for op in plan.ops)
+        assert plan.explicit_cost == 0, "nothing for the throttle to see"
+
+    def test_retirements_shift_targets(self):
+        """Observed retirements move rekey_burst's anchor and the
+        implicit cursor — hammering a retired row's original cells is
+        wasted pressure once accesses are remapped away."""
+        for name in ("rekey_burst", "pthammer_implicit"):
+            fresh = make_strategy(name, SEED).plan(3, 8, _obs(2), None)
+            shifted = make_strategy(name, SEED).plan(
+                3, 8, _obs(2, rows_retired=2), None
+            )
+            delta = {
+                (op.row_index - ref.row_index) % 8
+                for op, ref in zip(shifted.ops, fresh.ops)
+            }
+            assert delta == {2}
+
+    def test_unknown_strategy_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown attack strategy"):
+            make_strategy("zero_day", SEED)
+
+
+# -- the switching controller -------------------------------------------------
+
+
+class TestAdaptiveAttacker:
+    def test_pinned_attacker_never_switches(self):
+        attacker = make_attacker("low_slow", SEED)
+        for window in range(8):
+            attacker.plan(window, n_rows=4)
+            attacker.observe(_obs(window))
+        assert attacker.active.name == "low_slow"
+        assert attacker.switches == []
+
+    def test_unknown_strategy_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown attack strategy"):
+            make_attacker("zero_day", SEED)
+
+    def test_persistent_throttling_goes_implicit(self):
+        attacker = make_attacker("escalate", SEED)
+        attacker.observe(_obs(0, throttled_ops=1))
+        assert attacker.active.name == "low_slow"
+        attacker.observe(_obs(1, throttled_ops=2))
+        assert attacker.active.name == "pthammer_implicit"
+        assert attacker.switches[0].reason == "throttled"
+        assert attacker.switches[0].from_strategy == "low_slow"
+
+    def test_drained_spares_abandon_exhaustion(self):
+        attacker = AdaptiveAttacker(
+            strategies=["spare_exhaustion", "pthammer_implicit"], seed=SEED
+        )
+        attacker.observe(_obs(0, spare_rows_free=1))
+        assert attacker.active.name == "spare_exhaustion"
+        attacker.observe(_obs(1, spare_rows_free=0))
+        assert attacker.active.name == "pthammer_implicit"
+        assert attacker.switches[0].reason == "spares_drained"
+
+    def test_absorbed_escalates_then_locks_onto_most_damaging(self):
+        attacker = AdaptiveAttacker(
+            strategies=["low_slow", "rekey_burst"], seed=SEED
+        )
+        # low_slow does real (sub-threshold) damage: 19k cycles/window.
+        for window in range(3):
+            attacker.observe(
+                _obs(window, downtime_cycles=19_000 * (window + 1))
+            )
+        assert attacker.active.name == "rekey_burst"
+        assert attacker.switches[0].reason == "absorbed"
+        # rekey_burst gets absorbed for free — the controller locks back
+        # onto the strategy with the highest mean damage per window.
+        for window in range(3, 6):
+            attacker.observe(_obs(window, downtime_cycles=57_000))
+        assert attacker.active.name == "low_slow"
+        assert attacker.switches[1].reason == "locked"
+        # Locked means locked: further absorption changes nothing.
+        for window in range(6, 9):
+            attacker.observe(_obs(window, downtime_cycles=57_000))
+        assert len(attacker.switches) == 2
+
+    def test_panics_suppress_absorption(self):
+        attacker = AdaptiveAttacker(
+            strategies=["low_slow", "rekey_burst"], seed=SEED
+        )
+        for window in range(6):
+            attacker.observe(_obs(window, panics=window + 1))
+        assert attacker.active.name == "low_slow", "a panicking strategy stays"
+        assert attacker.switches == []
+
+
+# -- the assembled cell -------------------------------------------------------
+
+
+class TestAdaptiveSiegeCell:
+    def _cell(self, strategy, policy, windows=12):
+        from repro.analysis.siege_eval import run_adaptive_siege_cell
+
+        return run_adaptive_siege_cell(
+            strategy, windows, SEED, recovery=policy.as_params()
+        )
+
+    def test_cell_is_deterministic(self):
+        from repro.recovery.policy import RECOVERY_POLICIES
+
+        policy = RECOVERY_POLICIES["full"]
+        first = self._cell("escalate", policy, windows=6)
+        again = self._cell("escalate", policy, windows=6)
+        assert asdict(first) == asdict(again)
+        assert first.observations, "telemetry trace must be recorded"
+        assert [o["window"] for o in first.observations] == list(range(6))
+
+    def test_downtime_attribution_identity(self):
+        from repro.recovery.policy import RECOVERY_POLICIES
+
+        cell = self._cell("rekey_burst", RECOVERY_POLICIES["full"], windows=6)
+        assert sum(cell.downtime_attribution.values()) == cell.downtime_cycles
+        assert 0.0 <= cell.availability <= 1.0
+        assert cell.downtime_cycles <= cell.exposure_cycles
+
+    def test_preset_breaks_under_adaptive_pressure(self):
+        from repro.recovery.policy import RECOVERY_POLICIES
+
+        cell = self._cell("rekey_burst", RECOVERY_POLICIES["full"])
+        assert cell.availability < 0.99, (
+            "the full preset must lose its availability target to the "
+            "rekey-timing strategy (its own sweeps are the damage)"
+        )
+
+    @pytest.mark.parametrize("strategy", sorted(ALL_STRATEGIES))
+    def test_hardened_policy_holds_target(self, strategy):
+        from repro.recovery import hardened_policy
+
+        cell = self._cell(strategy, hardened_policy())
+        assert cell.availability >= 0.99
+        assert cell.panics == 0

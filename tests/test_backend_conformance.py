@@ -174,6 +174,94 @@ class TestChaosConformance:
         assert stats.fresh == 4
 
 
+ADAPTIVE_STRATEGIES = ("escalate", "rekey_burst")
+ADAPTIVE_WINDOWS = 6
+ADAPTIVE_SEED = 17
+
+
+def _adaptive_jobs():
+    from repro.analysis.siege_eval import adaptive_siege_cell_job
+    from repro.recovery.policy import RECOVERY_POLICIES
+
+    recovery = RECOVERY_POLICIES["full"].as_params()
+    return [
+        adaptive_siege_cell_job(
+            strategy, ADAPTIVE_WINDOWS, ADAPTIVE_SEED, "povray", False, recovery
+        )
+        for strategy in ADAPTIVE_STRATEGIES
+    ]
+
+
+@pytest.fixture(scope="module")
+def adaptive_serial_reference():
+    """The in-process ground truth the backends must reproduce exactly."""
+    from repro.analysis.siege_eval import run_adaptive_siege_cell
+    from repro.recovery.policy import RECOVERY_POLICIES
+
+    recovery = RECOVERY_POLICIES["full"].as_params()
+    return [
+        run_adaptive_siege_cell(
+            strategy, ADAPTIVE_WINDOWS, ADAPTIVE_SEED, recovery=recovery
+        )
+        for strategy in ADAPTIVE_STRATEGIES
+    ]
+
+
+class TestObservationConformance:
+    """The closed loop's telemetry is part of the backend contract: the
+    per-window ObservationChannel trace and every strategy switch must be
+    identical across serial, process-pool and threaded execution, and
+    across a ``--resume`` replay — else adaptive sieges would not be
+    content-addressable."""
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_telemetry_and_switch_sequences_identical(
+        self, backend, tmp_path, adaptive_serial_reference
+    ):
+        from dataclasses import asdict
+
+        cache = ResultCache(tmp_path)
+        cells = run_jobs(
+            _adaptive_jobs(), workers=2, cache=cache, backend=backend
+        )
+        for cell, reference in zip(cells, adaptive_serial_reference):
+            assert cell.observations == reference.observations
+            assert cell.strategy_switches == reference.strategy_switches
+            assert asdict(cell) == asdict(reference)
+        # The switching controller must actually have decided something,
+        # or the equality above is vacuous.
+        assert any(cell.strategy_switches for cell in cells)
+
+    # abort_after is raised by the carrier supervisor; inprocess has none.
+    @pytest.mark.parametrize("backend", CARRIER_BACKENDS)
+    def test_resume_replay_preserves_telemetry(
+        self, backend, tmp_path, adaptive_serial_reference
+    ):
+        from dataclasses import asdict
+
+        cache = ResultCache(tmp_path)
+        policy = ExecutionPolicy(
+            retries=2,
+            backoff_base_s=0.0,
+            chaos=ChaosPolicy(seed=1, abort_after=1),
+        )
+        with pytest.raises(KeyboardInterrupt):
+            run_jobs(
+                _adaptive_jobs(), workers=2, cache=cache,
+                policy=policy, backend=backend,
+            )
+        resumed = run_jobs(
+            _adaptive_jobs(), workers=2, cache=ResultCache(tmp_path),
+            backend=backend,
+        )
+        stats = last_run_stats()
+        assert stats.cached >= 1, "the interrupted cell must replay from cache"
+        for cell, reference in zip(resumed, adaptive_serial_reference):
+            assert cell.observations == reference.observations
+            assert cell.strategy_switches == reference.strategy_switches
+            assert asdict(cell) == asdict(reference)
+
+
 class TestContextIsolation:
     """Two interleaved ``run_jobs`` calls must not share policy or stats."""
 

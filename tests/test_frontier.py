@@ -1,0 +1,146 @@
+"""Tests for the worst-case availability frontier.
+
+The frontier is the PR's headline artifact: every recovery policy in
+the search grid against every adaptive strategy, scored by minimum
+availability (the adversary picks the strategy). These tests pin the
+grid contents, the adversarial ranking, the byte-determinism of the
+rendered report, and the acceptance separation — a shipped preset is
+BROKEN by an adaptive strategy while the hardened searched policy
+SURVIVES every one.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.frontier_eval import (
+    FrontierRow,
+    format_frontier_report,
+    run_frontier,
+)
+from repro.attacks.adaptive import ALL_STRATEGIES
+from repro.common.errors import ConfigurationError
+from repro.harness.parallel import ResultCache, last_run_stats
+from repro.recovery import (
+    AVAILABILITY_TARGET,
+    POLICY_GRIDS,
+    hardened_policy,
+    policy_grid,
+)
+
+WINDOWS = 12
+SEED = 17
+
+
+@pytest.fixture(scope="module")
+def quick_frontier(tmp_path_factory):
+    cache = ResultCache(tmp_path_factory.mktemp("frontier-cache"))
+    return run_frontier(
+        windows=WINDOWS, seed=SEED, policies="quick", workers=2, cache=cache
+    )
+
+
+class TestPolicyGrids:
+    def test_grids_are_named_and_non_empty(self):
+        assert set(POLICY_GRIDS) == {"default", "quick"}
+        for name in POLICY_GRIDS:
+            grid = policy_grid(name)
+            assert grid, f"grid {name!r} must not be empty"
+            names = [policy.name for policy in grid]
+            assert len(names) == len(set(names)), "policy names must be unique"
+
+    def test_default_grid_spans_presets_and_search_points(self):
+        names = {policy.name for policy in policy_grid("default")}
+        assert {"none", "reconstruct", "retire", "full", "hardened"} <= names
+
+    def test_hardened_policy_shape(self):
+        policy = hardened_policy()
+        assert policy.reconstruct_enabled
+        assert policy.retire_enabled
+        assert not policy.rekey_enabled, (
+            "the searched policy gates the attacker-purchasable rekey off"
+        )
+
+    def test_unknown_grid_is_typed(self):
+        with pytest.raises(ConfigurationError, match="unknown policy grid"):
+            policy_grid("exhaustive")
+
+
+class TestFrontierRanking:
+    def test_one_cell_per_policy_strategy_pair(self, quick_frontier):
+        rows, cells = quick_frontier
+        grid = policy_grid("quick")
+        assert len(cells) == len(grid) * len(ALL_STRATEGIES)
+        for row in rows:
+            assert sorted(row.availability) == sorted(ALL_STRATEGIES)
+
+    def test_rows_ranked_by_worst_case(self, quick_frontier):
+        rows, _ = quick_frontier
+        keys = [(-row.min_availability, row.policy) for row in rows]
+        assert keys == sorted(keys)
+        for row in rows:
+            assert row.min_availability == min(row.availability.values())
+            assert row.availability[row.broken_by] == row.min_availability
+
+    def test_worst_case_attribution_sums(self, quick_frontier):
+        rows, cells = quick_frontier
+        by_key = {(c.recovery_policy, c.strategy): c for c in cells}
+        for row in rows:
+            worst = by_key[(row.policy, row.broken_by)]
+            assert row.attribution == worst.downtime_attribution
+            assert sum(row.attribution.values()) == worst.downtime_cycles
+
+    def test_survives_tracks_target(self):
+        assert FrontierRow(
+            policy="p", min_availability=AVAILABILITY_TARGET
+        ).survives
+        assert not FrontierRow(
+            policy="p", min_availability=AVAILABILITY_TARGET - 1e-9
+        ).survives
+
+
+class TestFrontierReport:
+    def test_report_is_byte_deterministic(self, quick_frontier, tmp_path):
+        rows, cells = quick_frontier
+        reference = format_frontier_report(rows, cells)
+        cache = ResultCache(tmp_path)
+        for _ in range(2):
+            again = run_frontier(
+                windows=WINDOWS, seed=SEED, policies="quick",
+                workers=4, cache=cache,
+            )
+            assert format_frontier_report(*again) == reference
+        assert last_run_stats().cached == len(cells), (
+            "the second evaluation must come entirely from the cache"
+        )
+
+    def test_report_names_the_weakest_policy_as_broken(self, quick_frontier):
+        rows, cells = quick_frontier
+        report = format_frontier_report(rows, cells)
+        weakest = min(rows, key=lambda r: (r.min_availability, r.policy))
+        expected = (
+            f"weakest={weakest.policy} broken-by={weakest.broken_by} "
+            f"min-avail={weakest.min_availability:.5f}"
+        )
+        assert expected in report
+        ranked_line = next(
+            line
+            for line in report.splitlines()
+            if line.split()[1:2] == [weakest.policy] and "." in line
+        )
+        assert "BROKEN" in ranked_line and "SURVIVES" not in ranked_line
+
+    def test_separation_preset_broken_hardened_survives(self, quick_frontier):
+        rows, _ = quick_frontier
+        by_name = {row.policy: row for row in rows}
+        assert not by_name["full"].survives, (
+            "the shipped full preset must fall below the availability "
+            "target under at least one adaptive strategy"
+        )
+        hardened = by_name["hardened"]
+        assert hardened.survives
+        assert all(
+            avail >= AVAILABILITY_TARGET
+            for avail in hardened.availability.values()
+        ), "hardened must clear the target against every strategy"
+        assert not by_name["none"].survives

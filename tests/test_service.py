@@ -26,7 +26,7 @@ from repro.common.errors import (
     SubmissionCancelled,
     SubmissionNotFound,
 )
-from repro.harness.parallel import SimJob, register_job_kind, run_jobs
+from repro.harness.parallel import BACKENDS, SimJob, register_job_kind, run_jobs
 from repro.service import (
     AsyncFabricService,
     FabricService,
@@ -242,14 +242,23 @@ class TestCircuitBreaker:
             assert service.status(ticket)["degraded"] is True
         health = service.health()
         assert health["status"] == "degraded"
-        assert health["breakers"] == [
-            {
-                "backend": "threaded",
-                "state": "open",
-                "consecutive_failures": 0,
-                "trips": 1,
-            }
-        ]
+        # Per-backend keyed snapshots, covering every registered backend:
+        # the tripped one reads open, the never-used ones read pristine.
+        assert health["breakers"]["threaded"] == {
+            "backend": "threaded",
+            "state": "open",
+            "consecutive_failures": 0,
+            "trips": 1,
+        }
+        assert sorted(health["breakers"]) == sorted(BACKENDS)
+        for name in BACKENDS:
+            if name != "threaded":
+                assert health["breakers"][name]["state"] == "closed"
+                assert health["breakers"][name]["trips"] == 0
+        # The readiness probe carries the same per-backend states.
+        probe = service.ready()
+        assert probe["ready"] is True and bool(probe) is True
+        assert probe["breakers"]["threaded"] == "open"
         # Open circuit: clean submissions route straight to in-process.
         ticket = service.submit_sweep(jobs=_jobs(2, 20), tenant="alice")
         service.drain()
@@ -326,7 +335,7 @@ class TestLifecycle:
         with pytest.raises(AdmissionRejected) as info:
             service.submit_sweep(jobs=_jobs(1, 5), tenant="alice")
         assert info.value.reason == "shutdown"
-        assert service.ready() is False
+        assert service.ready()["ready"] is False
 
     def test_experiment_submission_runs_registry_function(self, tmp_path, clock):
         service = _service(tmp_path, clock)
@@ -362,12 +371,21 @@ class TestLifecycle:
 class TestProbesAndThreads:
     def test_ready_reflects_queue_headroom(self, tmp_path, clock):
         service = _service(tmp_path, clock, queue_depth=2)
-        assert service.ready() is True
+        probe = service.ready()
+        assert probe["ready"] is True and bool(probe) is True
+        assert probe["queue"] == {"depth": 2, "queued": 0, "headroom": 2}
+        assert probe["breakers"] == {name: "closed" for name in BACKENDS}
         service.submit_sweep(jobs=_jobs(1, 0), tenant="alice")
         service.submit_sweep(jobs=_jobs(1, 1), tenant="bob")
-        assert service.ready() is False
+        probe = service.ready()
+        assert probe["ready"] is False and bool(probe) is False
+        assert probe["queue"] == {"depth": 2, "queued": 2, "headroom": 0}
         service.drain()
-        assert service.ready() is True
+        probe = service.ready()
+        assert probe["ready"] is True
+        assert probe["queue"]["headroom"] == 2
+        # The probe is JSON-able for a future HTTP readiness endpoint.
+        assert json.loads(json.dumps(probe)) == dict(probe)
         service.close()
 
     def test_dispatcher_threads_complete_submissions(self, tmp_path):
