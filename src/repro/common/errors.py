@@ -191,3 +191,13 @@ class SubmissionNotFound(ServiceError):
 
 class SubmissionCancelled(ServiceError):
     """The submission was cancelled before it produced results."""
+
+
+class RecoveredSubmissionError(ServiceError):
+    """A restarted service replayed this ticket's terminal failure.
+
+    The state log records that the submission failed before the crash,
+    but the original exception object died with the process; this typed
+    stand-in carries the logged error text so ``results()`` on a
+    re-issued ticket still raises immediately instead of pretending the
+    failure never happened."""

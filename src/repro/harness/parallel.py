@@ -424,7 +424,9 @@ class ResultCache:
         self.misses = 0
         self.corrupt = 0
         self.io_errors = 0
+        self.put_errors = 0
         self._io_warned = False
+        self._put_warned = False
 
     @property
     def quarantine_dir(self) -> pathlib.Path:
@@ -521,7 +523,7 @@ class ResultCache:
         self.hits += 1
         return payload
 
-    def put(self, job: SimJob, payload: Any) -> None:
+    def _write_entry(self, job: SimJob, payload: Any) -> None:
         key = job.key()
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -538,12 +540,40 @@ class ResultCache:
         tmp.write_text(body + "\n", encoding="utf-8")
         os.replace(tmp, path)
 
+    def put(self, job: SimJob, payload: Any) -> bool:
+        """Write ``job``'s result through to disk; False on a disk fault.
+
+        A failed write-through (ENOSPC, EIO, an unwritable root) costs
+        durability, not correctness: the in-memory result is unaffected
+        and the sweep keeps going, so a full disk degrades the cache to
+        memory-only instead of killing the campaign. Failures are
+        counted in ``put_errors`` and warned about once per cache
+        instance — the durable service surfaces the count as
+        ``durability: degraded`` in its health probes.
+        """
+        try:
+            self._write_entry(job, payload)
+        except OSError as exc:
+            self.put_errors += 1
+            if not self._put_warned:
+                self._put_warned = True
+                logger.warning(
+                    "cache write failed (%s: %s) -- result kept in memory "
+                    "only; further write failures are counted in put_errors "
+                    "without repeating this warning",
+                    type(exc).__name__,
+                    exc,
+                )
+            return False
+        return True
+
     def stats(self) -> Dict[str, int]:
         return {
             "hits": self.hits,
             "misses": self.misses,
             "corrupt": self.corrupt,
             "io_errors": self.io_errors,
+            "put_errors": self.put_errors,
             "quarantine_evictions": self.quarantine_evictions,
         }
 

@@ -217,6 +217,40 @@ def _build_parser() -> argparse.ArgumentParser:
         "(exit 75) instead of degrading to in-process execution",
     )
     parser.add_argument(
+        "--state-dir",
+        type=pathlib.Path,
+        default=None,
+        metavar="DIR",
+        help="--serve durability: write-ahead state log under DIR; a "
+        "crashed/killed service restarted with the same DIR replays its "
+        "accepted submissions, recomputing only the missing cells "
+        "(disk faults degrade to memory-only instead of failing)",
+    )
+    parser.add_argument(
+        "--service-chaos",
+        type=str,
+        default=None,
+        metavar="SPEC",
+        help="deterministic service-level fault injection for testing, "
+        "e.g. 'seed=7,crash=1.0' (crash SIGKILLs the service at a "
+        "seed-addressed point mid-sweep; see repro.service.chaos)",
+    )
+    parser.add_argument(
+        "--supervise",
+        action="store_true",
+        help="run --serve under a watchdog: a crashed (signal-killed) "
+        "service process is restarted with bounded exponential backoff "
+        "against the same --state-dir; a crash loop exits 75",
+    )
+    parser.add_argument(
+        "--max-restarts",
+        type=int,
+        default=5,
+        metavar="N",
+        help="--supervise restart budget within the crash window "
+        "(default: 5); once spent the supervisor exits 75",
+    )
+    parser.add_argument(
         "--campaign",
         type=str,
         default=None,
@@ -401,6 +435,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("--serve stores results in per-tenant caches (drop --no-cache)")
     if args.rate is not None and not args.serve:
         parser.error("--rate only applies with --serve")
+    if args.state_dir is not None and not args.serve:
+        parser.error("--state-dir only applies with --serve")
+    if args.service_chaos is not None and not args.serve:
+        parser.error("--service-chaos only applies with --serve")
+    if args.service_chaos is not None:
+        from repro.service.chaos import ServiceChaosPolicy
+
+        try:
+            ServiceChaosPolicy.from_spec(args.service_chaos)
+        except ValueError as exc:
+            parser.error(f"--service-chaos: {exc}")
+    if args.supervise:
+        if not args.serve or args.state_dir is None:
+            parser.error("--supervise needs --serve and --state-dir (the "
+                         "restarted process recovers from the state log)")
+        if args.max_restarts < 0:
+            parser.error("--max-restarts must be >= 0")
+        if os.environ.get("REPRO_SUPERVISED") != "1":
+            return _supervise(args, argv)
 
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
@@ -463,6 +516,61 @@ and, when the service can estimate one, a retry-after hint.
 """
 
 
+def _supervise(args, argv: Optional[List[str]]) -> int:
+    """--supervise: watchdog loop around a child ``--serve`` process.
+
+    The child runs the same command line minus the supervision flags,
+    with ``REPRO_SUPERVISED=1`` so it never recurses. A signal-killed
+    child (SIGKILL/SIGSEGV/...) is restarted against the same
+    ``--state-dir`` — the WAL replay makes the restart resume rather
+    than redo — with bounded exponential backoff; ``--max-restarts``
+    crashes inside the crash window exit 75 (EX_TEMPFAIL). Clean exits,
+    including failures the service *chose* (1, 2, 75), propagate
+    unchanged.
+    """
+    import subprocess
+
+    from repro.service.supervisor import Supervisor, SupervisorConfig
+
+    raw = list(sys.argv[1:]) if argv is None else list(argv)
+    child_args: List[str] = []
+    skip_value = False
+    for token in raw:
+        if skip_value:
+            skip_value = False
+            continue
+        if token == "--supervise":
+            continue
+        if token == "--max-restarts":
+            skip_value = True
+            continue
+        if token.startswith("--max-restarts="):
+            continue
+        child_args.append(token)
+    command = [sys.executable, "-m", "repro.harness.runner", *child_args]
+    env = dict(os.environ)
+    env["REPRO_SUPERVISED"] = "1"
+
+    def spawn() -> int:
+        return subprocess.run(command, env=env).returncode
+
+    supervisor = Supervisor(
+        spawn, SupervisorConfig(max_restarts=args.max_restarts)
+    )
+    print(
+        f"[supervisor: watching {' '.join(command[2:])} "
+        f"(restart budget {args.max_restarts})]",
+        file=sys.stderr,
+    )
+    code = supervisor.run()
+    if supervisor.restarts:
+        print(
+            f"[supervisor: {supervisor.restarts} restart(s), exit {code}]",
+            file=sys.stderr,
+        )
+    return code
+
+
 def _parse_rate(raw: Optional[str], parser) -> tuple:
     """``CAP:REFILL`` -> (capacity, refill_per_s); default (4, 1)."""
     if raw is None:
@@ -489,7 +597,7 @@ def _run_service(args, parser, policy, names, workload_subset) -> int:
     """
     from repro.common.errors import AdmissionRejected, CircuitOpenError
     from repro.harness.parallel import default_cache_dir
-    from repro.service import FabricService, ServiceConfig
+    from repro.service import FabricService, ServiceChaosPolicy, ServiceConfig
 
     rate_capacity, rate_refill = _parse_rate(args.rate, parser)
     config = ServiceConfig(
@@ -503,8 +611,18 @@ def _run_service(args, parser, policy, names, workload_subset) -> int:
         allow_degraded=not args.no_degraded,
     )
     cache_root = args.cache_dir if args.cache_dir is not None else default_cache_dir()
+    service_chaos = (
+        ServiceChaosPolicy.from_spec(args.service_chaos)
+        if args.service_chaos
+        else None
+    )
     failures: List[str] = []
-    service = FabricService(cache_root=cache_root, config=config)
+    service = FabricService(
+        cache_root=cache_root,
+        config=config,
+        state_dir=args.state_dir,
+        chaos=service_chaos,
+    )
     try:
         for name in names:
             kwargs = {"scale": args.scale}
@@ -536,6 +654,7 @@ def _run_service(args, parser, policy, names, workload_subset) -> int:
         health = service.health()
         print(
             f"[service health: {health['status']}, "
+            f"durability={health['durability']['mode']}, "
             f"counters={health['counters']}]",
             file=sys.stderr,
         )

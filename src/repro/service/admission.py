@@ -58,8 +58,15 @@ class TokenBucket:
     def _refill(self) -> None:
         now = self._time_fn()
         elapsed = now - self._updated
+        if elapsed <= 0:
+            # Clock regression (or no time passed): mint nothing and keep
+            # the old watermark. Moving ``_updated`` backwards here would
+            # let the same interval mint tokens twice once the clock
+            # returns — a free-submission hole under an injectable or
+            # stepping clock.
+            return
         self._updated = now
-        if elapsed > 0 and self.refill_per_s > 0:
+        if self.refill_per_s > 0:
             self._tokens = min(
                 self.capacity, self._tokens + elapsed * self.refill_per_s
             )
@@ -73,14 +80,21 @@ class TokenBucket:
         return False
 
     def retry_after(self, tokens: float = 1.0) -> Optional[float]:
-        """Seconds until ``tokens`` could be available; None if never."""
+        """Seconds until ``tokens`` could be available; None if never.
+
+        The hint is capped at the bucket's refill horizon — the time to
+        fill from empty to ``tokens`` — so arithmetic artifacts (float
+        drift, a regressed clock leaving the deficit momentarily
+        overstated) can never tell a client to back off longer than the
+        bucket itself could possibly need.
+        """
         self._refill()
         deficit = tokens - self._tokens
         if deficit <= 0:
             return 0.0
         if self.refill_per_s <= 0 or tokens > self.capacity:
             return None
-        return deficit / self.refill_per_s
+        return min(deficit, tokens) / self.refill_per_s
 
     @property
     def tokens(self) -> float:
@@ -172,3 +186,16 @@ class AdmissionQueue:
     def remove(self, ticket: str) -> bool:
         """Drop ``ticket`` if still queued (cancel path); True if found."""
         return self._entries.pop(ticket, None) is not None
+
+    def restore(self, ticket: str, tenant: str) -> None:
+        """Re-queue a recovered submission, bypassing depth and shedding.
+
+        Recovery replays accepted-but-unfinished tickets from the state
+        log in their original accept order. Those submissions already
+        won admission once — shedding or rejecting them now because the
+        *replay* transiently overfills the queue would revoke an
+        acknowledgement the client holds. The queue may exceed its depth
+        until the dispatchers drain the backlog; new ``offer`` calls see
+        the true length and shed accordingly.
+        """
+        self._entries[ticket] = tenant

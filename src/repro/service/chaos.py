@@ -17,8 +17,9 @@ silent drop, never cross-tenant contamination.
 Pieces:
 
 * :class:`ServiceChaosPolicy` — per-submission verdicts (is this
-  submission's backend execution killed?) from ``(seed, channel,
-  submission key)``.
+  submission's backend execution killed? does the whole *service
+  process* crash mid-sweep, and after how many cells?) from ``(seed,
+  channel, submission key)``.
 * :func:`flood_plan` — a deterministic interleaved submission order for
   N tenants × M sweeps each (plus an optional greedy tenant submitting
   extra), shuffled by seed, not by wall clock.
@@ -27,12 +28,19 @@ Pieces:
   the primary backend deterministically reports a transient
   infrastructure failure and the service's breaker/degradation path —
   not the fabric's internal retry — must save the run.
+* :class:`CrashingCache` — the ``crash`` channel's trigger: a cache
+  proxy that fires a crash callback (SIGKILL by default) after the
+  seed-addressed Nth write-through, so the process dies *between*
+  durable cell completions — the exact window the WAL + journal
+  recovery path must survive.
 """
 
 from __future__ import annotations
 
+import os
+import signal
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import Callable, List, Optional, Sequence
 
 from repro.faults.inject import deterministic_fraction
 from repro.harness.chaos import ChaosPolicy
@@ -40,6 +48,14 @@ from repro.harness.parallel import ExecutionPolicy
 
 KILL_CHANNEL = "service-kill"
 ORDER_CHANNEL = "service-order"
+CRASH_CHANNEL = "service-crash"
+CRASH_POINT_CHANNEL = "service-crash-point"
+
+# When a submission's cell count is unknown up front (experiment
+# submissions size themselves), the crash point is drawn from this
+# small fixed range instead: late enough that recovery has cached cells
+# to adopt, early enough that work is genuinely left to recompute.
+_FALLBACK_POINT_RANGE = (2, 5)
 
 
 @dataclass(frozen=True)
@@ -48,6 +64,7 @@ class ServiceChaosPolicy:
 
     seed: int = 0
     kill_backend: float = 0.0
+    crash: float = 0.0
 
     def backend_killed(self, submission_key: str) -> bool:
         """Is this submission's primary-backend execution chaos-killed?"""
@@ -57,6 +74,108 @@ class ServiceChaosPolicy:
             deterministic_fraction(self.seed, KILL_CHANNEL, submission_key)
             < self.kill_backend
         )
+
+    def crash_point(
+        self, submission_key: str, total_cells: Optional[int] = None
+    ) -> Optional[int]:
+        """After how many cache write-throughs does the service die?
+
+        None when the ``crash`` channel does not fire for this
+        submission. Otherwise a count in ``[1, total_cells]`` (or the
+        fallback range when the cell count is unknown), derived from a
+        second channel over the same seed so verdict and point are
+        independent draws. Deterministic: the same submission key
+        crashes at the same cell on every run, which is what makes the
+        crash-restart byte-identity test repeatable.
+        """
+        if self.crash <= 0.0:
+            return None
+        verdict = deterministic_fraction(self.seed, CRASH_CHANNEL, submission_key)
+        if verdict >= self.crash:
+            return None
+        fraction = deterministic_fraction(
+            self.seed, CRASH_POINT_CHANNEL, submission_key
+        )
+        if total_cells is not None and total_cells > 0:
+            return 1 + int(fraction * max(0, total_cells - 1))
+        low, high = _FALLBACK_POINT_RANGE
+        return low + int(fraction * (high - low + 1))
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "ServiceChaosPolicy":
+        """Parse ``seed=7,kill_backend=0.3,crash=1.0``.
+
+        Same grammar as :meth:`ChaosPolicy.from_spec` one layer down:
+        comma-separated ``name=value``, probabilities validated to
+        [0, 1], unknown fields rejected.
+        """
+        values: dict = {}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            name, separator, raw = part.partition("=")
+            name, raw = name.strip(), raw.strip()
+            if not separator or not raw:
+                raise ValueError(
+                    f"bad service chaos field {part!r} (want name=value)"
+                )
+            if name == "seed":
+                values["seed"] = int(raw)
+            elif name in ("kill_backend", "crash"):
+                probability = float(raw)
+                if not 0.0 <= probability <= 1.0:
+                    raise ValueError(
+                        f"{name} probability {probability} outside [0, 1]"
+                    )
+                values[name] = probability
+            else:
+                raise ValueError(f"unknown service chaos field {name!r}")
+        return cls(**values)
+
+
+def default_crash_fn() -> None:
+    """Die the way a real crash does: SIGKILL, no cleanup, no atexit."""
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+class CrashingCache:
+    """Cache proxy that crashes the process at the Nth write-through.
+
+    Wraps a tenant's :class:`~repro.harness.parallel.ResultCache`;
+    every attribute is delegated, but :meth:`put` counts completed
+    write-throughs and fires ``crash_fn`` *after* the Nth entry lands
+    on disk — i.e. after the cell is durably cached but before its
+    ``job_done`` journal record is appended. That is the nastiest
+    legal crash window (cached-but-unjournaled), and recovery must
+    treat it as at worst one redundant cache probe, never a duplicated
+    computation or a changed byte.
+
+    Because each crashed attempt completes ``crash_point`` more cells
+    than the last restart had cached, supervised restarts make strict
+    progress and converge even at ``crash=1.0``.
+    """
+
+    def __init__(
+        self,
+        inner,
+        crash_after: int,
+        crash_fn: Callable[[], None] = default_crash_fn,
+    ):
+        self._inner = inner
+        self._crash_after = max(1, crash_after)
+        self._crash_fn = crash_fn
+        self.puts = 0
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    def put(self, job, payload):
+        result = self._inner.put(job, payload)
+        self.puts += 1
+        if self.puts >= self._crash_after:
+            self._crash_fn()
+        return result
 
 
 @dataclass(frozen=True)

@@ -49,6 +49,7 @@ from repro.common.errors import (
     CircuitOpenError,
     ConfigurationError,
     JobTimeoutError,
+    RecoveredSubmissionError,
     RetryBudgetExceededError,
     SubmissionCancelled,
     SubmissionNotFound,
@@ -67,8 +68,10 @@ from repro.harness.parallel import (
 )
 from repro.service.admission import AdmissionQueue, TokenBucket
 from repro.service.breaker import OPEN, CircuitBreaker
+from repro.service.chaos import CrashingCache, ServiceChaosPolicy
 from repro.service.progress import JournalTail
 from repro.service.tenancy import DEFAULT_TENANT, tenant_cache, validate_tenant
+from repro.service.wal import StateLog
 
 # Submission lifecycle states.
 QUEUED = "queued"
@@ -77,6 +80,11 @@ DONE = "done"
 FAILED = "failed"
 REJECTED = "rejected"
 CANCELLED = "cancelled"
+
+TERMINAL_STATES = frozenset({DONE, FAILED, REJECTED, CANCELLED})
+
+# Name of the write-ahead state log inside ``state_dir``.
+WAL_FILENAME = "service.wal"
 
 
 @dataclass
@@ -133,6 +141,7 @@ class Submission:
     dispatched_at: Optional[float] = None
     finished_at: Optional[float] = None
     journal_path: Optional[pathlib.Path] = None
+    recovered: bool = False
     finished: threading.Event = field(default_factory=threading.Event)
 
 
@@ -145,8 +154,11 @@ class ReadyProbe(dict):
     """
 
     def __init__(self, ready: bool, queue: Dict[str, int],
-                 breakers: Dict[str, str]):
+                 breakers: Dict[str, str],
+                 durability: Optional[Dict[str, Any]] = None):
         super().__init__(ready=ready, queue=queue, breakers=breakers)
+        if durability is not None:
+            self["durability"] = durability
 
     def __bool__(self) -> bool:
         return bool(self["ready"])
@@ -172,6 +184,9 @@ class FabricService:
         config: Optional[ServiceConfig] = None,
         time_fn: Callable[[], float] = time.monotonic,
         start: bool = True,
+        state_dir: Optional[pathlib.Path] = None,
+        chaos: Optional[ServiceChaosPolicy] = None,
+        crash_fn: Optional[Callable[[], None]] = None,
     ):
         self.cache_root = (
             pathlib.Path(cache_root) if cache_root is not None else default_cache_dir()
@@ -183,6 +198,7 @@ class FabricService:
         self._submissions: Dict[str, Submission] = {}
         self._buckets: Dict[str, TokenBucket] = {}
         self._breakers: Dict[str, CircuitBreaker] = {}
+        self._caches: Dict[str, ResultCache] = {}
         self._tickets = itertools.count(1)
         self._closed = False
         self._threads: List[threading.Thread] = []
@@ -192,8 +208,201 @@ class FabricService:
             "run": LatencyRecorder("run"),
             "reject": LatencyRecorder("reject"),
         }
+        # Durability: a write-ahead state log under state_dir makes every
+        # accepted ticket survive a crash; without one the service is
+        # explicitly memory-only (the pre-durability behaviour).
+        self.state_dir = pathlib.Path(state_dir) if state_dir is not None else None
+        self._chaos = chaos
+        self._crash_fn = crash_fn
+        self._wal: Optional[StateLog] = None
+        self._replayed = 0
+        self._quarantined = 0
+        self._recovered_live = 0
+        self._recovered_terminal = 0
+        if self.state_dir is not None:
+            self._wal = StateLog(self.state_dir / WAL_FILENAME)
+            self._recover()
         if start:
             self._start_dispatchers()
+
+    # -- durability --------------------------------------------------------
+
+    def _wal_append(self, record: Dict[str, Any]) -> None:
+        """Log a state transition (call with ``self._work`` held)."""
+        if self._wal is not None:
+            self._wal.append(record)
+
+    @staticmethod
+    def _accept_record(submission: Submission) -> Dict[str, Any]:
+        jobs = None
+        if submission.jobs is not None:
+            jobs = [
+                {"kind": job.kind, "params": dict(job.params), "label": job.label}
+                for job in submission.jobs
+            ]
+        return {
+            "type": "accept",
+            "ticket": submission.ticket,
+            "tenant": submission.tenant,
+            "jobs": jobs,
+            "experiment": submission.experiment,
+            "kwargs": submission.experiment_kwargs,
+        }
+
+    @staticmethod
+    def _finish_record(submission: Submission) -> Dict[str, Any]:
+        error = submission.error
+        return {
+            "type": "finish",
+            "ticket": submission.ticket,
+            "state": submission.state,
+            "error": str(error) if error is not None else None,
+            "reason": getattr(error, "reason", None),
+        }
+
+    @staticmethod
+    def _ticket_number(ticket: str) -> int:
+        try:
+            return int(ticket.rsplit("-", 1)[-1])
+        except ValueError:
+            return 0
+
+    def _recovered_error(
+        self, record: Dict[str, Any], tenant: str
+    ) -> Optional[BaseException]:
+        """Reconstruct a typed error for a replayed terminal failure."""
+        state = record.get("state")
+        message = record.get("error") or f"submission {record.get('ticket')} failed"
+        if state == REJECTED:
+            return AdmissionRejected(
+                message,
+                tenant=tenant,
+                reason=record.get("reason") or "overload",
+            )
+        if state == FAILED:
+            return RecoveredSubmissionError(message)
+        return None
+
+    def _recover(self) -> None:
+        """Replay the WAL: re-adopt live tickets, rehydrate terminal ones.
+
+        Last record wins per ticket. Tickets whose latest state is
+        ``queued``/``running`` are re-queued in their original accept
+        order (bypassing shedding — they already won admission once);
+        the cells they completed before the crash are in the tenant's
+        write-through cache and each sweep's journal, so re-execution
+        recomputes only the gap and the results come out byte-identical.
+        Terminal tickets are rebuilt already-finished: ``results()`` on
+        a re-issued ticket returns (rehydrating done results from the
+        cache, all hits) or raises its typed error immediately. The log
+        is then compacted to one accept + latest-state pair per ticket.
+        """
+        assert self._wal is not None
+        replay = self._wal.replay()
+        self._replayed = len(replay.records)
+        self._quarantined = len(replay.quarantined)
+        accepts: Dict[str, Dict[str, Any]] = {}
+        order: List[str] = []
+        latest: Dict[str, Dict[str, Any]] = {}
+        for record in replay.records:
+            ticket = record.get("ticket")
+            rtype = record.get("type")
+            if not isinstance(ticket, str):
+                continue
+            if rtype == "accept":
+                if ticket not in accepts:
+                    accepts[ticket] = record
+                    order.append(ticket)
+                    latest[ticket] = {"type": "accept", "state": QUEUED}
+            elif rtype == "dispatch":
+                latest[ticket] = {"type": "dispatch", "state": RUNNING}
+            elif rtype == "finish":
+                latest[ticket] = record
+
+        highest = 0
+        compacted: List[Dict[str, Any]] = []
+        now = self._time_fn()
+        for ticket in order:
+            accept = accepts[ticket]
+            highest = max(highest, self._ticket_number(ticket))
+            tenant = accept.get("tenant") or DEFAULT_TENANT
+            jobs: Optional[List[SimJob]] = None
+            raw_jobs = accept.get("jobs")
+            if raw_jobs is not None:
+                jobs = [
+                    SimJob(
+                        kind=entry["kind"],
+                        params=entry.get("params") or {},
+                        label=entry.get("label"),
+                    )
+                    for entry in raw_jobs
+                ]
+            submission = Submission(
+                ticket=ticket,
+                tenant=tenant,
+                jobs=jobs,
+                experiment=accept.get("experiment"),
+                experiment_kwargs=dict(accept.get("kwargs") or {}),
+                submitted_at=now,
+                recovered=True,
+            )
+            if jobs is not None:
+                cache = self._tenant_cache(tenant)
+                submission.journal_path = (
+                    cache.root / "journals" / f"{sweep_id(jobs)}.jsonl"
+                )
+            final = latest[ticket]
+            compacted.append(accept)
+            if final.get("state") in TERMINAL_STATES:
+                submission.state = final["state"]
+                submission.error = self._recovered_error(final, tenant)
+                submission.finished_at = now
+                submission.finished.set()
+                self._recovered_terminal += 1
+                compacted.append(final)
+            else:
+                # queued or running when the process died: re-adopt.
+                self._queue.restore(ticket, tenant)
+                self._recovered_live += 1
+            self._submissions[ticket] = submission
+        if self._recovered_live or self._recovered_terminal:
+            self.counters.increment("recovered", self._recovered_live)
+        if highest:
+            self._tickets = itertools.count(highest + 1)
+        self._wal.close()
+        if replay.records or not replay.clean:
+            self._wal.compact(compacted)
+
+    def durability(self) -> Dict[str, Any]:
+        """The durability facet of ``health()``/``ready()``.
+
+        ``mode`` is ``memory-only`` (no ``state_dir`` configured),
+        ``durable`` (WAL and cache write-throughs landing), or
+        ``degraded`` (a disk fault on either path — accepted work still
+        completes, but would not survive a crash).
+        """
+        with self._work:
+            return self._durability_locked()
+
+    def _durability_locked(self) -> Dict[str, Any]:
+        put_errors = sum(cache.put_errors for cache in self._caches.values())
+        if self._wal is None:
+            mode = "memory-only"
+        elif self._wal.degraded or put_errors:
+            mode = "degraded"
+        else:
+            mode = "durable"
+        view: Dict[str, Any] = {
+            "mode": mode,
+            "replayed": self._replayed,
+            "quarantined": self._quarantined,
+            "recovered_live": self._recovered_live,
+            "recovered_terminal": self._recovered_terminal,
+            "cache_put_errors": put_errors,
+        }
+        if self._wal is not None:
+            view["wal"] = self._wal.stats()
+        return view
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -237,6 +446,11 @@ class FabricService:
         for thread in self._threads:
             thread.join()
         self._threads = []
+        if self._wal is not None:
+            # Every queued ticket was just finished (shutdown-rejected)
+            # and logged; a clean close therefore leaves only terminal
+            # records, so the next boot re-adopts nothing.
+            self._wal.close()
 
     def __enter__(self) -> "FabricService":
         return self
@@ -331,6 +545,9 @@ class FabricService:
                     self.counters.increment("queue_full")
                     raise
                 self._submissions[ticket] = submission
+                # Logged before the ticket is returned: an acknowledged
+                # accept is a durable accept.
+                self._wal_append(self._accept_record(submission))
                 if victim is not None:
                     shed = self._submissions[victim]
                     self.counters.increment("shed")
@@ -371,6 +588,7 @@ class FabricService:
                     ticket, _tenant = taken
                     submission = self._submissions[ticket]
                     submission.state = RUNNING
+                    self._wal_append({"type": "dispatch", "ticket": ticket})
                     submission.dispatched_at = self._time_fn()
                     self.latency["queue_wait"].record(
                         submission.dispatched_at - submission.submitted_at
@@ -396,7 +614,14 @@ class FabricService:
     # -- execution ---------------------------------------------------------
 
     def _tenant_cache(self, tenant: str) -> ResultCache:
-        return tenant_cache(self.cache_root, tenant)
+        # Memoized so write-error counters (put_errors) accumulate per
+        # tenant across a submission's lifetime and feed the durability
+        # probe, instead of resetting on every fresh ResultCache.
+        cache = self._caches.get(tenant)
+        if cache is None:
+            cache = tenant_cache(self.cache_root, tenant)
+            self._caches[tenant] = cache
+        return cache
 
     def _breaker(self, backend: str) -> CircuitBreaker:
         breaker = self._breakers.get(backend)
@@ -420,7 +645,19 @@ class FabricService:
         """
         base = submission.policy if submission.policy is not None else ExecutionPolicy()
         active = dataclasses.replace(base, backend=backend, fallback_serial=False)
-        cache = self._tenant_cache(submission.tenant)
+        cache: Any = self._tenant_cache(submission.tenant)
+        if self._chaos is not None:
+            total = len(submission.jobs) if submission.jobs is not None else None
+            point = self._chaos.crash_point(submission.ticket, total)
+            if point is not None:
+                # The crash channel: die after the Nth fresh cell lands
+                # in the cache. Cached cells never re-put, so every
+                # restarted attempt makes >= N cells of progress and a
+                # supervised service converges even at crash=1.0.
+                kwargs: Dict[str, Any] = {"crash_after": point}
+                if self._crash_fn is not None:
+                    kwargs["crash_fn"] = self._crash_fn
+                cache = CrashingCache(cache, **kwargs)
         if submission.jobs is not None:
             return run_jobs(
                 submission.jobs,
@@ -520,6 +757,9 @@ class FabricService:
         submission.error = error
         submission.results = results
         submission.finished_at = self._time_fn()
+        # Logged before the finished event wakes any waiter: by the time
+        # a client observes the outcome, a restart would replay it.
+        self._wal_append(self._finish_record(submission))
         if state == DONE:
             self.counters.increment("completed")
             if submission.dispatched_at is not None:
@@ -554,6 +794,7 @@ class FabricService:
                 "state": submission.state,
                 "backend": submission.backend_used,
                 "degraded": submission.degraded,
+                "recovered": submission.recovered,
                 "error": str(submission.error) if submission.error else None,
             }
             journal_path = submission.journal_path
@@ -581,24 +822,59 @@ class FabricService:
 
         ``DONE`` returns the decoded results (or the experiment report);
         ``FAILED``/``REJECTED`` re-raise the stored typed error;
-        ``CANCELLED`` raises :class:`SubmissionCancelled`. A timeout
-        raises :class:`TimeoutError` without consuming the submission.
+        ``CANCELLED`` raises :class:`SubmissionCancelled`. A submission
+        already in a terminal state — cancelled, shed, failed, done —
+        resolves *immediately*, whatever ``timeout`` says: the timeout
+        bounds the wait for an outcome, never delays one that exists. A
+        genuine timeout raises :class:`TimeoutError` without consuming
+        the submission.
         """
         with self._work:
             submission = self._submission(ticket)
+            terminal = submission.state in TERMINAL_STATES
+        if terminal:
+            # Terminal states are final: resolve now (outside the lock —
+            # rehydrating a recovered result may touch the cache) rather
+            # than making the caller spend its timeout on a done deal.
+            return self._resolve(submission)
         if not submission.finished.wait(timeout):
             raise TimeoutError(
                 f"submission {ticket} still {submission.state} "
                 f"after {timeout}s"
             )
+        return self._resolve(submission)
+
+    def _resolve(self, submission: Submission) -> Any:
+        """Return or raise a terminal submission's outcome."""
         if submission.state == DONE:
+            if submission.results is None and submission.recovered:
+                self._rehydrate(submission)
             return submission.results
         if submission.state == CANCELLED:
             raise SubmissionCancelled(
-                f"submission {ticket} was cancelled before completion"
+                f"submission {submission.ticket} was cancelled before "
+                "completion"
             )
         assert submission.error is not None
         raise submission.error
+
+    def _rehydrate(self, submission: Submission) -> None:
+        """Recompute a recovered DONE submission's results from the cache.
+
+        The WAL records *that* a submission completed, not its payload —
+        the payload lives in the content-addressed cache, one entry per
+        cell. Re-running the sweep in-process touches only cached
+        entries (every cell completed before the crash, or the state
+        would not be DONE), so this is a read-side reconstruction:
+        exactly-once semantics by sha256 addressing, zero recomputation.
+        Idempotent under races — concurrent callers rebuild identical
+        bytes.
+        """
+        results = self._run_once(submission, "inprocess")
+        with self._work:
+            if submission.results is None:
+                submission.results = results
+                self.counters.increment("rehydrated")
 
     def cancel(self, ticket: str) -> bool:
         """Cancel a still-queued submission; False once it is running.
@@ -639,6 +915,7 @@ class FabricService:
                     name: self._breaker(name).state
                     for name in sorted(BACKENDS)
                 },
+                durability=self._durability_locked(),
             )
 
     def health(self) -> Dict[str, Any]:
@@ -653,8 +930,10 @@ class FabricService:
                 name: self._breaker(name).snapshot()
                 for name in sorted(BACKENDS)
             }
-            degraded = any(
-                b["state"] != "closed" for b in breakers.values()
+            durability = self._durability_locked()
+            degraded = (
+                any(b["state"] != "closed" for b in breakers.values())
+                or durability["mode"] == "degraded"
             )
             return {
                 "status": (
@@ -668,6 +947,11 @@ class FabricService:
                     "per_tenant": self._queue.tenant_counts(),
                 },
                 "breakers": breakers,
+                "durability": durability,
+                "caches": {
+                    tenant: cache.stats()
+                    for tenant, cache in sorted(self._caches.items())
+                },
                 "counters": self.counters.as_dict(),
                 "latency": {
                     name: recorder.summary()

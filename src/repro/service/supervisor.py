@@ -1,0 +1,138 @@
+"""Watchdog supervision for a crashy ``--serve`` process.
+
+The durable service (``wal.py``) guarantees that a SIGKILLed service
+loses no accepted work — but something still has to restart it. This
+module is that something: a small, dependency-free supervisor loop that
+respawns a crashed child with bounded exponential backoff, detects
+crash loops (too many crashes inside a sliding window), and gives up
+with ``EX_TEMPFAIL`` (75) once the restart budget is spent — the same
+"transient, retry later" exit code the runner already uses for
+exhausted retry budgets, so orchestrators treat a crash-looping service
+and a flaky fabric identically.
+
+Policy, all injectable for deterministic tests:
+
+* A *crash* is a signal death (negative returncode from ``subprocess``)
+  or the shell-reported equivalents (128+signum: 134/137/139). Clean
+  exits — including nonzero ones like usage errors (2) or interrupts
+  (130) — propagate immediately: restarting a process that *chose* to
+  exit only hides the reason it chose to.
+* Backoff between restarts is ``min(cap, base * 2**n)`` where ``n``
+  counts restarts so far — bounded so a long-lived flaky service does
+  not drift to hour-long gaps.
+* Crash-loop detection is window-based, not lifetime-based: only
+  crashes inside the trailing ``crash_window_s`` count against
+  ``max_restarts``, so a service that crashes once a day runs forever
+  while one that dies five times in five minutes is declared looping.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Optional
+
+logger = logging.getLogger(__name__)
+
+# sysexits.h EX_TEMPFAIL, matching repro.harness.runner.EX_TEMPFAIL.
+EX_TEMPFAIL = 75
+
+# Shell-style 128+signum codes that mean "killed by signal" when the
+# child was run through a layer that swallows negative returncodes.
+_SIGNAL_EXIT_CODES = frozenset({134, 137, 139})  # SIGABRT, SIGKILL, SIGSEGV
+
+
+def is_crash(returncode: int) -> bool:
+    """Did this exit code indicate a signal death worth restarting?"""
+    return returncode < 0 or returncode in _SIGNAL_EXIT_CODES
+
+
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """Restart policy knobs.
+
+    ``max_restarts`` is the number of *restarts* granted per crash
+    window: the (N+1)-th crash inside ``crash_window_s`` exceeds a
+    budget of N and stops the loop with :data:`EX_TEMPFAIL`.
+    """
+
+    max_restarts: int = 5
+    backoff_base_s: float = 0.5
+    backoff_cap_s: float = 30.0
+    crash_window_s: float = 300.0
+
+    def backoff_s(self, restarts_so_far: int) -> float:
+        """Bounded exponential delay before restart number N+1."""
+        return min(
+            self.backoff_cap_s,
+            self.backoff_base_s * (2.0 ** restarts_so_far),
+        )
+
+
+class Supervisor:
+    """Respawn a crashing child until it exits cleanly or loops.
+
+    ``spawn`` runs one child to completion and returns its returncode
+    (negative for signal deaths, per ``subprocess``). ``sleep_fn`` and
+    ``time_fn`` are injectable so tests drive the whole policy — backoff
+    schedule, window pruning, budget exhaustion — without waiting.
+    """
+
+    def __init__(
+        self,
+        spawn: Callable[[], int],
+        config: Optional[SupervisorConfig] = None,
+        sleep_fn: Callable[[float], None] = time.sleep,
+        time_fn: Callable[[], float] = time.monotonic,
+    ):
+        self._spawn = spawn
+        self.config = config or SupervisorConfig()
+        self._sleep = sleep_fn
+        self._time = time_fn
+        self.restarts = 0
+        self._crash_times: Deque[float] = deque()
+
+    def _crashes_in_window(self, now: float) -> int:
+        cutoff = now - self.config.crash_window_s
+        while self._crash_times and self._crash_times[0] < cutoff:
+            self._crash_times.popleft()
+        return len(self._crash_times)
+
+    def run(self) -> int:
+        """Supervise until a clean exit or a spent restart budget."""
+        while True:
+            returncode = self._spawn()
+            if not is_crash(returncode):
+                if self.restarts:
+                    logger.info(
+                        "supervised service exited %d after %d restart(s)",
+                        returncode,
+                        self.restarts,
+                    )
+                return returncode
+            now = self._time()
+            self._crash_times.append(now)
+            if self._crashes_in_window(now) > self.config.max_restarts:
+                logger.error(
+                    "supervised service crash-looping: %d crashes within "
+                    "%.0fs exceeds restart budget %d -- giving up (exit %d)",
+                    len(self._crash_times),
+                    self.config.crash_window_s,
+                    self.config.max_restarts,
+                    EX_TEMPFAIL,
+                )
+                return EX_TEMPFAIL
+            delay = self.config.backoff_s(self.restarts)
+            self.restarts += 1
+            logger.warning(
+                "supervised service crashed (returncode %d); restart %d/%d "
+                "in %.2fs",
+                returncode,
+                self.restarts,
+                self.config.max_restarts,
+                delay,
+            )
+            if delay > 0:
+                self._sleep(delay)

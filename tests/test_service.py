@@ -145,6 +145,43 @@ class TestTokenBucket:
         assert not bucket.try_acquire()
         assert bucket.retry_after() is None
 
+    def test_clock_regression_mints_no_tokens(self, clock):
+        bucket = TokenBucket(capacity=2, refill_per_s=1.0, time_fn=clock)
+        clock.advance(5.0)
+        assert bucket.try_acquire() and bucket.try_acquire()
+        assert not bucket.try_acquire()
+        # The clock jumps backwards (VM migration, NTP step on a
+        # non-monotonic injection): no free tokens may appear.
+        clock.now = 1.0
+        assert not bucket.try_acquire()
+        assert bucket.tokens == 0.0
+
+    def test_clock_regression_does_not_double_mint_on_return(self, clock):
+        bucket = TokenBucket(capacity=10, refill_per_s=1.0, time_fn=clock)
+        clock.advance(5.0)
+        for _ in range(10):
+            assert bucket.try_acquire()
+        # Regress, then return to the same instant: the 5.0 -> 1.0 -> 5.0
+        # round trip spans zero real forward time, so zero tokens. A
+        # refill that moved its watermark backwards would mint 4 here.
+        clock.now = 1.0
+        assert not bucket.try_acquire()
+        clock.now = 5.0
+        assert bucket.tokens == 0.0
+        assert not bucket.try_acquire()
+        # Genuine forward movement resumes minting from the watermark.
+        clock.advance(1.0)
+        assert bucket.try_acquire()
+
+    def test_retry_after_capped_at_refill_horizon(self, clock):
+        bucket = TokenBucket(capacity=4, refill_per_s=2.0, time_fn=clock)
+        for _ in range(4):
+            assert bucket.try_acquire()
+        # Empty bucket: the wait can never exceed the time to refill one
+        # token from empty -- tokens/refill_per_s = 0.5s.
+        assert bucket.retry_after() == pytest.approx(0.5)
+        assert bucket.retry_after() <= bucket.capacity / bucket.refill_per_s
+
 
 class TestAdmission:
     def test_rate_limited_is_typed_with_retry_hint(self, tmp_path, clock):
@@ -363,6 +400,88 @@ class TestLifecycle:
         assert tail.progress() == {"completed": 4, "total": 4, "done": True}
         assert service.status(ticket)["progress"]["done"] is True
         service.close()
+
+
+class TestTerminalResults:
+    """results() on any terminal ticket resolves immediately.
+
+    The timeout parameter bounds the wait for an *undecided* outcome;
+    a submission that is already done, failed, shed or cancelled must
+    return/raise at once even with an absurd timeout — a client polling
+    a dead ticket should never block.
+    """
+
+    # Far longer than the suite's own timeout: if results() ever waits
+    # on a terminal ticket, the wall-clock assertion (and eventually CI)
+    # catches it.
+    HUGE_TIMEOUT = 3600.0
+
+    def _assert_immediate(self, action):
+        import time as _time
+
+        started = _time.monotonic()
+        action()
+        assert _time.monotonic() - started < 5.0, (
+            "terminal results() blocked instead of resolving immediately"
+        )
+
+    def test_done_returns_immediately(self, tmp_path, clock):
+        service = _service(tmp_path, clock)
+        ticket = service.submit_sweep(jobs=_jobs(2), tenant="alice")
+        service.drain()
+        self._assert_immediate(
+            lambda: service.results(ticket, timeout=self.HUGE_TIMEOUT)
+        )
+        service.close()
+
+    def test_cancelled_raises_immediately(self, tmp_path, clock):
+        service = _service(tmp_path, clock)
+        ticket = service.submit_sweep(jobs=_jobs(2), tenant="alice")
+        assert service.cancel(ticket)
+        def read():
+            with pytest.raises(SubmissionCancelled):
+                service.results(ticket, timeout=self.HUGE_TIMEOUT)
+        self._assert_immediate(read)
+        service.close()
+
+    def test_shed_raises_immediately(self, tmp_path, clock):
+        service = _service(tmp_path, clock, queue_depth=2)
+        shed = service.submit_sweep(jobs=_jobs(1, 0), tenant="alice")
+        service.submit_sweep(jobs=_jobs(1, 1), tenant="alice")
+        service.submit_sweep(jobs=_jobs(1, 2), tenant="bob")
+        def read():
+            with pytest.raises(AdmissionRejected) as info:
+                service.results(shed, timeout=self.HUGE_TIMEOUT)
+            assert info.value.reason == "shed"
+        self._assert_immediate(read)
+        service.close()
+
+    def test_failed_raises_immediately(self, tmp_path, clock):
+        register_job_kind(
+            "svc_broken",
+            lambda params: (_ for _ in ()).throw(ValueError("broken cell")),
+        )
+        service = _service(tmp_path, clock)
+        ticket = service.submit_sweep(
+            jobs=[SimJob(kind="svc_broken", params={"value": 1})],
+            tenant="alice",
+        )
+        service.drain()
+        def read():
+            with pytest.raises(Exception, match="broken cell"):
+                service.results(ticket, timeout=self.HUGE_TIMEOUT)
+        self._assert_immediate(read)
+        service.close()
+
+    def test_shutdown_rejected_raises_immediately(self, tmp_path, clock):
+        service = _service(tmp_path, clock)
+        ticket = service.submit_sweep(jobs=_jobs(1), tenant="alice")
+        service.close()
+        def read():
+            with pytest.raises(AdmissionRejected) as info:
+                service.results(ticket, timeout=self.HUGE_TIMEOUT)
+            assert info.value.reason == "shutdown"
+        self._assert_immediate(read)
 
 
 # -- probes and threads -------------------------------------------------------

@@ -10,6 +10,7 @@ line carries the typed reason and a retry hint.
 
 from __future__ import annotations
 
+import json
 import os
 import subprocess
 import sys
@@ -22,6 +23,7 @@ def _run(tmp_path, extra, experiment="fig6"):
     env["PYTHONPATH"] = "src"
     env.pop("REPRO_CHAOS", None)
     env.pop("REPRO_BACKEND", None)
+    env.pop("REPRO_SUPERVISED", None)
     return subprocess.run(
         [
             sys.executable,
@@ -103,6 +105,87 @@ class TestTempfail:
         assert "degraded=True" in result.stderr
 
 
+def _report(stdout):
+    """Strip bracketed status lines; what's left is the report proper."""
+    return "\n".join(
+        line
+        for line in stdout.splitlines()
+        if not (line.startswith("[") and line.endswith("]"))
+    )
+
+
+def _duplicate_journal_keys(cache_root):
+    """job_done keys logged more than once across all sweep journals."""
+    duplicates = []
+    for journal in cache_root.rglob("journals/*.jsonl"):
+        seen = set()
+        for line in journal.read_text().splitlines():
+            entry = json.loads(line)
+            if entry.get("event") != "job_done":
+                continue
+            if entry["key"] in seen:
+                duplicates.append((journal.name, entry["key"]))
+            seen.add(entry["key"])
+    return duplicates
+
+
+class TestDurableServe:
+    """--state-dir crash recovery, end to end through real processes."""
+
+    def test_sigkill_then_restart_resumes_byte_identical(self, tmp_path):
+        durable = [
+            "--serve",
+            "--state-dir",
+            str(tmp_path / "state"),
+        ]
+        # The crash channel SIGKILLs the serving process mid-sweep, at a
+        # seed-addressed cell: a real signal death, not an exception.
+        crashed = _run(
+            tmp_path, [*durable, "--service-chaos", "seed=7,crash=1.0"]
+        )
+        assert crashed.returncode == -9, crashed.stderr
+        assert (tmp_path / "state" / "service.wal").exists()
+
+        # Restart against the same state dir, chaos off: the WAL replay
+        # re-adopts the interrupted sweep and the run completes.
+        restarted = _run(tmp_path, durable)
+        assert restarted.returncode == 0, restarted.stderr
+        assert "'recovered': 1" in restarted.stderr
+        assert "durability=durable" in restarted.stderr
+
+        # Byte-identical to a quiet uninterrupted run...
+        direct = _run(tmp_path / "fresh", ["--serve"])
+        assert direct.returncode == 0, direct.stderr
+        assert _report(restarted.stdout) == _report(direct.stdout)
+        # ...and exactly-once at the journal level: no cell was ever
+        # recorded done twice, crash and recovery included.
+        assert _duplicate_journal_keys(tmp_path / "cache") == []
+
+    def test_supervised_serve_converges_under_persistent_crashes(
+        self, tmp_path
+    ):
+        # Chaos stays on across restarts; every attempt still banks its
+        # completed cells in the content-addressed cache, so the missing
+        # set shrinks below the crash point and the run converges.
+        result = _run(
+            tmp_path,
+            [
+                "--serve",
+                "--state-dir",
+                str(tmp_path / "state"),
+                "--service-chaos",
+                "seed=7,crash=1.0",
+                "--supervise",
+                "--max-restarts",
+                "8",
+            ],
+        )
+        assert result.returncode == 0, result.stderr
+        assert "[supervisor: watching" in result.stderr
+        assert "restart(s), exit 0]" in result.stderr
+        assert "slowdown by workload" in result.stdout
+
+
 class TestUsageErrors:
     def test_serve_with_no_cache_is_usage_error(self, tmp_path):
         result = _run(tmp_path, ["--serve", "--no-cache"])
@@ -122,6 +205,21 @@ class TestUsageErrors:
         result = _run(tmp_path, ["--backend", "quantum"])
         assert result.returncode == 2
         assert "unknown backend" in result.stderr
+
+    def test_state_dir_without_serve_is_usage_error(self, tmp_path):
+        result = _run(tmp_path, ["--state-dir", str(tmp_path / "state")])
+        assert result.returncode == 2
+
+    def test_supervise_without_state_dir_is_usage_error(self, tmp_path):
+        result = _run(tmp_path, ["--serve", "--supervise"])
+        assert result.returncode == 2
+        assert "--state-dir" in result.stderr
+
+    def test_bad_service_chaos_spec_is_usage_error(self, tmp_path):
+        result = _run(
+            tmp_path, ["--serve", "--service-chaos", "seed=7,crash=2.0"]
+        )
+        assert result.returncode == 2
 
 
 class TestBackendFlagDirectMode:

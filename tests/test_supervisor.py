@@ -1,0 +1,140 @@
+"""The --supervise watchdog: restart policy, backoff, crash loops.
+
+All tests drive :class:`Supervisor` with fake spawn/sleep/clock
+callables — no subprocesses, no real time. The end-to-end supervised
+``--serve`` path (real SIGKILLs, real restarts) lives in
+``tests/test_service_cli.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.supervisor import (
+    EX_TEMPFAIL,
+    Supervisor,
+    SupervisorConfig,
+    is_crash,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def _run(exit_codes, config=None, clock=None, advance_per_spawn=0.0):
+    """Drive a supervisor over a scripted child-exit sequence.
+
+    Returns (final exit code, sleeps observed, spawn count).
+    """
+    clock = clock or FakeClock()
+    sleeps = []
+    sequence = iter(exit_codes)
+    spawns = []
+
+    def spawn():
+        clock.now += advance_per_spawn
+        code = next(sequence)
+        spawns.append(code)
+        return code
+
+    supervisor = Supervisor(
+        spawn,
+        config or SupervisorConfig(),
+        sleep_fn=sleeps.append,
+        time_fn=clock,
+    )
+    return supervisor.run(), sleeps, len(spawns)
+
+
+class TestCrashClassification:
+    @pytest.mark.parametrize("code", [-9, -11, -6, 134, 137, 139])
+    def test_signal_deaths_are_crashes(self, code):
+        assert is_crash(code)
+
+    @pytest.mark.parametrize("code", [0, 1, 2, 75, 130, 143])
+    def test_chosen_exits_are_not_crashes(self, code):
+        assert not is_crash(code)
+
+
+class TestSupervisor:
+    def test_clean_exit_propagates_without_restart(self):
+        code, sleeps, spawns = _run([0])
+        assert code == 0 and spawns == 1 and sleeps == []
+
+    @pytest.mark.parametrize("clean", [1, 2, 75, 130, 143])
+    def test_nonzero_chosen_exits_propagate_immediately(self, clean):
+        code, _, spawns = _run([clean])
+        assert code == clean and spawns == 1
+
+    def test_crash_then_clean_restarts_once(self):
+        code, sleeps, spawns = _run([-9, 0])
+        assert code == 0 and spawns == 2
+        assert sleeps == [0.5]
+
+    def test_backoff_is_bounded_exponential(self):
+        config = SupervisorConfig(
+            max_restarts=10, backoff_base_s=0.5, backoff_cap_s=4.0
+        )
+        code, sleeps, spawns = _run([-9, -9, -9, -9, -9, 0], config=config)
+        assert code == 0 and spawns == 6
+        # 0.5, 1, 2, 4, then capped at 4.
+        assert sleeps == [0.5, 1.0, 2.0, 4.0, 4.0]
+
+    def test_crash_loop_exits_tempfail(self):
+        config = SupervisorConfig(max_restarts=3)
+        code, _, spawns = _run([-9] * 10, config=config)
+        # budget of 3 restarts -> 4th crash gives up; the child ran
+        # 1 original + 3 restarts = 4 times.
+        assert code == EX_TEMPFAIL and spawns == 4
+
+    def test_shell_style_137_counts_as_crash(self):
+        code, _, spawns = _run([137, 0])
+        assert code == 0 and spawns == 2
+
+    def test_old_crashes_age_out_of_the_window(self):
+        # One crash every 150s against a 300s window and budget 3:
+        # never more than 3 crashes in any (inclusive) window, so the
+        # service keeps being restarted as long as the pattern holds.
+        config = SupervisorConfig(max_restarts=3, crash_window_s=300.0)
+        code, _, spawns = _run(
+            [-9] * 8 + [0], config=config, advance_per_spawn=150.0
+        )
+        assert code == 0 and spawns == 9
+
+    def test_dense_crashes_inside_window_exhaust_budget(self):
+        config = SupervisorConfig(max_restarts=3, crash_window_s=300.0)
+        code, _, spawns = _run(
+            [-9] * 8 + [0], config=config, advance_per_spawn=1.0
+        )
+        assert code == EX_TEMPFAIL and spawns == 4
+
+    def test_zero_budget_gives_up_on_first_crash(self):
+        config = SupervisorConfig(max_restarts=0)
+        code, _, spawns = _run([-9, 0], config=config)
+        assert code == EX_TEMPFAIL and spawns == 1
+
+    def test_restart_counter_is_exposed(self):
+        clock = FakeClock()
+        sequence = iter([-9, -9, 0])
+
+        def spawn():
+            return next(sequence)
+
+        supervisor = Supervisor(
+            spawn, SupervisorConfig(), sleep_fn=lambda _s: None, time_fn=clock
+        )
+        assert supervisor.run() == 0
+        assert supervisor.restarts == 2
+
+
+class TestConfig:
+    def test_backoff_schedule(self):
+        config = SupervisorConfig(backoff_base_s=1.0, backoff_cap_s=10.0)
+        assert [config.backoff_s(n) for n in range(6)] == [
+            1.0, 2.0, 4.0, 8.0, 10.0, 10.0,
+        ]
